@@ -1,0 +1,82 @@
+"""M1: micro-benchmarks of the simulator's hot paths.
+
+Engineering benchmarks (not paper claims): boundary extraction, merge
+pattern matching, one full engine round, and connectivity checking — the
+four operations that dominate a simulation's profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import GatherOnGrid
+from repro.core.config import AlgorithmConfig
+from repro.core.patterns import plan_merges
+from repro.engine.scheduler import FsyncEngine
+from repro.grid.boundary import extract_boundaries
+from repro.grid.connectivity import is_connected
+from repro.grid.occupancy import SwarmState
+from repro.swarms.generators import random_blob, ring, solid_rectangle
+
+CFG = AlgorithmConfig()
+
+
+@pytest.mark.parametrize(
+    "name,cells",
+    [
+        ("solid_1600", solid_rectangle(40, 40)),
+        ("ring_200", ring(51)),
+        ("blob_2000", random_blob(2000, 1)),
+    ],
+    ids=["solid_1600", "ring_200", "blob_2000"],
+)
+def test_boundary_extraction(benchmark, name, cells):
+    state = SwarmState(cells)
+    result = benchmark(lambda: extract_boundaries(state))
+    assert result[0].is_outer
+
+
+@pytest.mark.parametrize(
+    "name,cells",
+    [
+        ("solid_1600", solid_rectangle(40, 40)),
+        ("blob_2000", random_blob(2000, 1)),
+    ],
+    ids=["solid_1600", "blob_2000"],
+)
+def test_pattern_matching(benchmark, name, cells):
+    state = SwarmState(cells)
+    moves, pats = benchmark(lambda: plan_merges(state, CFG))
+    assert pats is not None
+
+
+def test_single_engine_round(benchmark):
+    cells = random_blob(1500, 2)
+
+    def one_round():
+        engine = FsyncEngine(
+            SwarmState(cells), GatherOnGrid(CFG), check_connectivity=False
+        )
+        engine.step()
+        return engine
+
+    engine = benchmark(one_round)
+    assert engine.round_index == 1
+
+
+def test_connectivity_check(benchmark):
+    cells = random_blob(3000, 3)
+    assert benchmark(lambda: is_connected(cells))
+
+
+def test_full_gather_blob_800(benchmark):
+    cells = random_blob(800, 4)
+
+    def run():
+        engine = FsyncEngine(
+            SwarmState(cells), GatherOnGrid(CFG), check_connectivity=False
+        )
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.gathered

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each benchmark measures a representative end-to-end simulation with
+pytest-benchmark *and* prints the experiment's table (the rows/series the
+paper's claims correspond to).  Tables are also attached to
+``benchmark.extra_info`` so they land in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print an experiment table so it survives pytest capture settings."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()

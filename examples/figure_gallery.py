@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 1-21 from live simulator state.
+
+Each figure is rebuilt by running the actual library machinery (boundary
+extraction, merge patterns, run manager, full engine) on the configuration
+the paper illustrates — see repro.viz.figures.
+
+Run:  python examples/figure_gallery.py [figN ...]
+"""
+
+import sys
+
+from repro.viz.figures import FIGURES, figure
+
+
+def main() -> None:
+    names = sys.argv[1:] or sorted(
+        FIGURES, key=lambda s: int(s.removeprefix("fig"))
+    )
+    for name in names:
+        print("=" * 72)
+        print(figure(name))
+        print()
+
+
+if __name__ == "__main__":
+    main()

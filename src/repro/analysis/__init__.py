@@ -1,0 +1,47 @@
+"""Analysis layer: scaling fits, experiment sweeps, tables, progress checks."""
+
+from repro.analysis.fitting import (
+    FitResult,
+    fit_linear,
+    fit_power,
+    fit_quadratic,
+    scaling_exponent,
+)
+from repro.analysis.experiments import (
+    ScalingPoint,
+    run_scaling,
+    sweep,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.progress import (
+    ProgressAudit,
+    audit_result,
+    is_mergeless,
+    mergeless_structure,
+    find_progress_sites,
+)
+from repro.analysis.potentials import (
+    PotentialTrace,
+    is_monotone_nonincreasing,
+    track_potentials,
+)
+
+__all__ = [
+    "FitResult",
+    "fit_linear",
+    "fit_power",
+    "fit_quadratic",
+    "scaling_exponent",
+    "ScalingPoint",
+    "run_scaling",
+    "sweep",
+    "format_table",
+    "ProgressAudit",
+    "audit_result",
+    "is_mergeless",
+    "mergeless_structure",
+    "find_progress_sites",
+    "PotentialTrace",
+    "is_monotone_nonincreasing",
+    "track_potentials",
+]

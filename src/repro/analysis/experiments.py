@@ -1,0 +1,85 @@
+"""Experiment sweep helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.algorithm import gather
+from repro.core.config import AlgorithmConfig
+from repro.swarms.generators import family
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One measured point of a scaling experiment."""
+
+    family: str
+    n: int
+    rounds: int
+    gathered: bool
+    merges: int
+    diameter: int
+
+    @property
+    def rounds_per_n(self) -> float:
+        return self.rounds / max(self.n, 1)
+
+
+def run_scaling(
+    family_name: str,
+    sizes: Sequence[int],
+    cfg: Optional[AlgorithmConfig] = None,
+    *,
+    check_connectivity: bool = True,
+    max_rounds: Optional[int] = None,
+) -> List[ScalingPoint]:
+    """Gather swarms of each size from one family; collect round counts.
+
+    ``n`` recorded is the *actual* robot count (generators hit the target
+    only approximately for structured shapes).
+    """
+    points: List[ScalingPoint] = []
+    for size in sizes:
+        cells = family(family_name, size)
+        from repro.grid.occupancy import SwarmState
+
+        diameter = SwarmState(cells).diameter_chebyshev()
+        result = gather(
+            cells,
+            cfg,
+            check_connectivity=check_connectivity,
+            max_rounds=max_rounds,
+        )
+        points.append(
+            ScalingPoint(
+                family=family_name,
+                n=result.robots_initial,
+                rounds=result.rounds,
+                gathered=result.gathered,
+                merges=result.merges_total,
+                diameter=diameter,
+            )
+        )
+    return points
+
+
+def sweep(
+    param_values: Sequence,
+    make_cfg: Callable[[object], AlgorithmConfig],
+    cells_factory: Callable[[], list],
+    *,
+    max_rounds: Optional[int] = None,
+) -> Dict[object, int]:
+    """Ablation helper: rounds-to-gather as a function of one parameter.
+
+    Returns ``{value: rounds}``; a value that fails to gather within the
+    budget maps to ``-1`` (benchmarks render it as "stalled").
+    """
+    out: Dict[object, int] = {}
+    for value in param_values:
+        result = gather(
+            cells_factory(), make_cfg(value), max_rounds=max_rounds
+        )
+        out[value] = result.rounds if result.gathered else -1
+    return out

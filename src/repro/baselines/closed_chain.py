@@ -1,0 +1,151 @@
+"""Closed-chain gathering on the grid ([ACLF+16], the paper's launchpad).
+
+The paper opens: "we use an idea from our gathering algorithm for a closed
+chain [ACLF+16], yet drop the chain connectivity for sake of solving the
+general gathering".  This module provides that predecessor system in
+simplified form: ``n`` robots forming a **closed chain** (a cyclic sequence
+where consecutive robots are 8-adjacent; several robots may share a cell),
+to be gathered into a 2x2 square while every chain link stays intact.
+
+Chain connectivity is *given by the problem*, so — unlike the general
+grid-gathering — a robot always knows its two chain neighbors.  What
+remains hard in FSYNC is symmetry: on a perfectly regular cycle all robots
+look alike.  The original paper breaks symmetry with runner states; this
+simplified reproduction uses the standard randomized alternative (each
+robot draws an independent coin per round, and acts only if its chain
+neighbors drew tails), which preserves the O(n)-rounds-in-expectation
+behaviour we measure in experiment E10 and keeps the module compact.
+Deviations are documented in DESIGN.md.
+
+Operations per acting robot (both keep every chain link 8-adjacent):
+
+* **contract** — if its two chain neighbors are 8-adjacent to each other
+  (or coincide), the robot leaves the chain (splice); this is the merge
+  analog: the chain shortens by one;
+* **pull** — otherwise hop one cell toward the midpoint of the neighbors
+  if 8-adjacency to both survives; this tightens slack like the paper's
+  reshapement hops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.grid.geometry import Cell, chebyshev
+
+
+@dataclass
+class ClosedChainResult:
+    gathered: bool
+    rounds: int
+    robots_initial: int
+    robots_final: int
+
+
+def _adjacent8(a: Cell, b: Cell) -> bool:
+    return chebyshev(a, b) <= 1
+
+
+def _bounding_square(chain: Sequence[Cell]) -> int:
+    xs = [c[0] for c in chain]
+    ys = [c[1] for c in chain]
+    return max(max(xs) - min(xs), max(ys) - min(ys))
+
+
+class ClosedChainGatherer:
+    """FSYNC randomized gathering of a closed chain."""
+
+    def __init__(self, chain: Sequence[Cell], *, seed: int = 0) -> None:
+        chain = list(chain)
+        if len(chain) < 3:
+            raise ValueError("a closed chain needs at least 3 robots")
+        n = len(chain)
+        for i in range(n):
+            if not _adjacent8(chain[i], chain[(i + 1) % n]):
+                raise ValueError(
+                    f"chain links must be 8-adjacent; index {i} is not"
+                )
+        self.chain: List[Cell] = chain
+        self.rng = random.Random(seed)
+        self.round_index = 0
+
+    def is_gathered(self) -> bool:
+        return _bounding_square(self.chain) <= 1
+
+    def step(self) -> None:
+        """One FSYNC round: coin-selected robots contract or pull."""
+        chain = self.chain
+        n = len(chain)
+        coins = [self.rng.random() < 0.5 for _ in range(n)]
+        # a robot acts iff it drew heads and both chain neighbors drew
+        # tails — acting robots are pairwise non-adjacent along the chain,
+        # so their moves/splices are compatible
+        acting = [
+            coins[i] and not coins[(i - 1) % n] and not coins[(i + 1) % n]
+            for i in range(n)
+        ]
+        # Phase 1: contractions (splices) — collect surviving indices.
+        keep: List[bool] = [True] * n
+        for i in range(n):
+            if not acting[i] or n - sum(not k for k in keep) <= 3:
+                continue
+            prev_c = chain[(i - 1) % n]
+            next_c = chain[(i + 1) % n]
+            if _adjacent8(prev_c, next_c):
+                keep[i] = False
+        new_chain = [c for c, k in zip(chain, keep) if k]
+        new_acting = [a for a, k in zip(acting, keep) if k]
+        # Phase 2: pulls on surviving acting robots.
+        m = len(new_chain)
+        result = list(new_chain)
+        for i in range(m):
+            if not new_acting[i]:
+                continue
+            prev_c = new_chain[(i - 1) % m]
+            cur = new_chain[i]
+            next_c = new_chain[(i + 1) % m]
+            mid = ((prev_c[0] + next_c[0]) // 2, (prev_c[1] + next_c[1]) // 2)
+            dx = (mid[0] > cur[0]) - (mid[0] < cur[0])
+            dy = (mid[1] > cur[1]) - (mid[1] < cur[1])
+            cand = (cur[0] + dx, cur[1] + dy)
+            if (
+                cand != cur
+                and _adjacent8(cand, prev_c)
+                and _adjacent8(cand, next_c)
+            ):
+                result[i] = cand
+        self.chain = result
+        self.round_index += 1
+
+    def run(self, max_rounds: Optional[int] = None) -> ClosedChainResult:
+        n0 = len(self.chain)
+        budget = max_rounds if max_rounds is not None else 400 * n0 + 400
+        while not self.is_gathered() and self.round_index < budget:
+            self.step()
+        return ClosedChainResult(
+            gathered=self.is_gathered(),
+            rounds=self.round_index,
+            robots_initial=n0,
+            robots_final=len(self.chain),
+        )
+
+
+def gather_closed_chain(
+    chain: Sequence[Cell], *, seed: int = 0, max_rounds: Optional[int] = None
+) -> ClosedChainResult:
+    """Gather a closed chain into a 2x2 square."""
+    return ClosedChainGatherer(chain, seed=seed).run(max_rounds=max_rounds)
+
+
+def rectangle_chain(width: int, height: int) -> List[Cell]:
+    """A closed chain tracing a width x height rectangle boundary."""
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    out: List[Cell] = []
+    out += [(x, 0) for x in range(width)]
+    out += [(width - 1, y) for y in range(1, height)]
+    out += [(x, height - 1) for x in range(width - 2, -1, -1)]
+    out += [(0, y) for y in range(height - 2, 0, -1)]
+    return out

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``gather``   run the algorithm on a generated swarm, print a summary
+``watch``    print per-round frames while gathering (terminal animation)
+``figures``  regenerate the paper's Figures 1-21
+``scale``    run the E1 scaling experiment for one family
+``compare``  grid vs Euclidean vs ASYNC vs global-vision round counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import run_scaling
+from repro.analysis.fitting import fit_linear, scaling_exponent
+from repro.analysis.tables import format_table
+from repro.core.algorithm import GatherOnGrid, gather
+from repro.core.config import AlgorithmConfig
+from repro.engine.scheduler import FsyncEngine
+from repro.grid.occupancy import SwarmState
+from repro.swarms.generators import FAMILIES, family
+from repro.viz.ascii_art import render_with_marks
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--family",
+        default="ring",
+        choices=sorted(FAMILIES),
+        help="swarm family (default: ring)",
+    )
+    p.add_argument(
+        "-n", type=int, default=100, help="target robot count (default 100)"
+    )
+    p.add_argument(
+        "--radius", type=int, default=None, help="viewing radius override"
+    )
+    p.add_argument(
+        "--interval", type=int, default=None, help="run start interval L"
+    )
+
+
+def _config(args: argparse.Namespace) -> AlgorithmConfig:
+    kwargs = {}
+    if getattr(args, "radius", None) is not None:
+        kwargs["viewing_radius"] = args.radius
+        kwargs["max_bump_length"] = max(1, (args.radius - 2) // 2)
+    if getattr(args, "interval", None) is not None:
+        kwargs["run_start_interval"] = args.interval
+    return AlgorithmConfig(**kwargs)
+
+
+def cmd_gather(args: argparse.Namespace) -> int:
+    cells = family(args.family, args.n)
+    result = gather(cells, _config(args))
+    print(
+        f"{args.family}(n={result.robots_initial}): gathered="
+        f"{result.gathered} rounds={result.rounds} "
+        f"rounds/n={result.rounds_per_robot():.2f}"
+    )
+    print("events:", result.events.counts())
+    return 0 if result.gathered else 1
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    cells = family(args.family, args.n)
+    ctrl = GatherOnGrid(_config(args))
+    engine = FsyncEngine(SwarmState(cells), ctrl)
+    rounds = 0
+    while not engine.state.is_gathered() and rounds < args.max_rounds:
+        marks = {r.robot: "R" for r in ctrl.run_manager.runs.values()}
+        print(
+            f"\n--- round {rounds}: {len(engine.state)} robots, "
+            f"{ctrl.active_run_count} runs ---"
+        )
+        print(render_with_marks(engine.state, marks))
+        engine.step()
+        rounds += 1
+    print(f"\ngathered after {rounds} rounds")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz.figures import FIGURES, figure
+
+    names = args.names or sorted(
+        FIGURES, key=lambda s: int(s.removeprefix("fig"))
+    )
+    for name in names:
+        print("=" * 72)
+        print(figure(name))
+        print()
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    sizes = args.sizes or [args.n, args.n * 2, args.n * 4]
+    points = run_scaling(
+        args.family, sizes, _config(args), check_connectivity=False
+    )
+    rows = [
+        (p.n, p.diameter, p.rounds, f"{p.rounds_per_n:.2f}") for p in points
+    ]
+    ns = [p.n for p in points]
+    rnds = [max(p.rounds, 1) for p in points]
+    exp = scaling_exponent(ns, rnds)
+    lin = fit_linear(ns, rnds)
+    print(
+        format_table(
+            ["n", "diameter", "rounds", "rounds/n"],
+            rows,
+            title=(
+                f"[{args.family}] exponent {exp:.2f} slope "
+                f"{lin.coefficients[0]:.2f} (R2 {lin.r_squared:.3f})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines.async_greedy import gather_async
+    from repro.baselines.euclidean import gather_euclidean
+    from repro.baselines.global_grid import gather_global_with_moves
+    from repro.swarms.generators import line, random_blob
+
+    rows = []
+    for n in args.sizes or [16, 32, 64]:
+        g = gather(line(n), check_connectivity=False)
+        r = n * 0.9 / (2 * math.pi)
+        e = gather_euclidean(
+            [
+                (
+                    r * math.cos(2 * math.pi * i / n),
+                    r * math.sin(2 * math.pi * i / n),
+                )
+                for i in range(n)
+            ]
+        )
+        a = gather_async(random_blob(n, seed=n), check_connectivity=False)
+        gl, _ = gather_global_with_moves(line(n))
+        rows.append((n, g.rounds, e.rounds, a.rounds, gl.rounds))
+    print(
+        format_table(
+            ["n", "grid", "euclid", "async", "global"],
+            rows,
+            title="rounds to gather, worst-case family per model",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asymptotically Optimal Gathering on a Grid (SPAA 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gather", help="gather one swarm, print a summary")
+    _add_common(p)
+    p.set_defaults(fn=cmd_gather)
+
+    p = sub.add_parser("watch", help="per-round terminal animation")
+    _add_common(p)
+    p.add_argument("--max-rounds", type=int, default=2000)
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("names", nargs="*", help="fig1 ... fig21 (default all)")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("scale", help="E1 scaling experiment for a family")
+    _add_common(p)
+    p.add_argument("--sizes", type=int, nargs="+")
+    p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("compare", help="E2-E4 baseline comparison")
+    p.add_argument("--sizes", type=int, nargs="+")
+    p.set_defaults(fn=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Paper constants for *Asymptotically Optimal Gathering on a Grid*.
+
+The paper (Section 5, Lemma 3) fixes two global constants:
+
+* ``VIEWING_RADIUS`` — the L1 radius of a robot's local view.  The paper
+  uses the (admittedly unoptimized) value 20; 11 suffices for the easy run
+  passing case.
+* ``RUN_START_INTERVAL`` (the paper's ``L``) — every ``L`` rounds all robots
+  simultaneously check whether they may start new run states.  The paper
+  derives ``L = 22`` (and ``L >= 13`` for the easy case).
+
+``RUN_PASSING_DISTANCE`` is the boundary distance at or below which two runs
+moving toward each other begin the run passing operation (paper Section 3.2:
+"We call 3 the run passing distance").
+
+These are *defaults*; :class:`repro.core.config.AlgorithmConfig` lets
+experiments sweep them (ablation E5).
+"""
+
+from __future__ import annotations
+
+#: L1 viewing radius of a robot (paper Section 1 / Lemma 3).
+VIEWING_RADIUS: int = 20
+
+#: Number of rounds between global run-start checks (paper's ``L``).
+RUN_START_INTERVAL: int = 22
+
+#: Boundary distance at which approaching runs start passing (paper: 3).
+RUN_PASSING_DISTANCE: int = 3
+
+#: Maximum length of a bump merge operation (paper Fig. 2's ``k``); the paper
+#: upper-bounds it by the viewing radius.  We bound it tighter: every mover
+#: of a pattern must also *see* any adjacent pattern that could freeze one of
+#: its co-movers (DESIGN.md Section 3), which requires
+#: ``2 * k + 2 <= VIEWING_RADIUS`` — hence 9 for radius 20.
+MAX_BUMP_LENGTH: int = 9
+
+#: Gathering is complete when all robots fit inside a 2x2 square
+#: (paper Section 3.2).
+GATHER_SQUARE: int = 2

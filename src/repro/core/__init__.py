@@ -1,0 +1,45 @@
+"""The paper's algorithm: local FSYNC gathering on the grid in O(n) rounds.
+
+Layout:
+
+* :mod:`repro.core.config` — tunable constants (paper defaults L=22, r=20);
+* :mod:`repro.core.view` — L1-ball local views with locality enforcement;
+* :mod:`repro.core.patterns` — the state-free merge operations (paper
+  Section 3.1, Figures 2 and 3);
+* :mod:`repro.core.quasiline` — quasi lines, stairways, endpoint detection
+  (paper Definition 1, Figures 6 and 16);
+* :mod:`repro.core.runs` — run states: start, movement, reshapement folds,
+  passing, termination (paper Sections 3.2, 3.3, 6);
+* :mod:`repro.core.algorithm` — :class:`GatherOnGrid`, the per-round
+  controller combining the above (paper Figure 11).
+"""
+
+from repro.core.config import AlgorithmConfig
+from repro.core.view import LocalView, LocalityError
+from repro.core.patterns import MergePattern, plan_merges
+from repro.core.quasiline import (
+    boundary_segments,
+    is_quasi_line,
+    is_stairway,
+    run_start_sites,
+    StartSite,
+)
+from repro.core.runs import Run, RunManager
+from repro.core.algorithm import GatherOnGrid, gather
+
+__all__ = [
+    "AlgorithmConfig",
+    "LocalView",
+    "LocalityError",
+    "MergePattern",
+    "plan_merges",
+    "boundary_segments",
+    "is_quasi_line",
+    "is_stairway",
+    "run_start_sites",
+    "StartSite",
+    "Run",
+    "RunManager",
+    "GatherOnGrid",
+    "gather",
+]

@@ -1,0 +1,146 @@
+"""The gathering controller (paper Figure 11).
+
+Every round, conceptually at every robot (evaluated centrally over local
+predicates — see :mod:`repro.core.view` for the locality audit):
+
+1. **Merge** — if the robot is part of a merge pattern it hops with it
+   (Section 3.1);
+2. **Run operations** — a runner terminates per Table 1, passes an
+   approaching run, or reshapes (fold) and hands its state onward
+   (Sections 3.2/3.3);
+3. **Start new runs** — every ``L`` rounds, robots at quasi-line endpoint
+   corners (Start-A / Start-B) spawn new runs (Fig. 7).
+
+The controller plugs into :class:`repro.engine.FsyncEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.config import AlgorithmConfig
+from repro.core.patterns import plan_merges
+from repro.core.quasiline import run_start_sites
+from repro.core.runs import RunManager
+from repro.engine.events import EventLog
+from repro.engine.scheduler import FsyncEngine, GatherResult
+from repro.grid.boundary import Boundary, extract_boundaries
+from repro.grid.geometry import Cell
+from repro.grid.occupancy import SwarmState
+
+
+class GatherOnGrid:
+    """Per-round planner for the paper's gathering algorithm."""
+
+    def __init__(self, cfg: Optional[AlgorithmConfig] = None) -> None:
+        self.cfg = cfg or AlgorithmConfig()
+        self.run_manager = RunManager(self.cfg)
+        self.events = EventLog()
+        self._last_patterns: Tuple[str, ...] = ()
+
+    # Instrumentation read by the engine's metrics.
+    @property
+    def active_run_count(self) -> int:
+        return self.run_manager.active_run_count
+
+    # ------------------------------------------------------------------
+    def plan_round(
+        self, state: SwarmState, round_index: int
+    ) -> Mapping[Cell, Cell]:
+        cfg = self.cfg
+        occupied = state.cells
+
+        # Step 1: merge operations (state-free).
+        merge_moves, patterns = plan_merges(state, cfg)
+        self._last_patterns = tuple(p.kind for p in patterns)
+
+        if not cfg.enable_runs:
+            return merge_moves
+
+        boundaries = extract_boundaries(state)
+        located, lost = self.run_manager.locate(boundaries)
+
+        # Step 3 (checked before acting so fresh runs reshape this same
+        # round, like the paper's start hop): start new runs every L rounds.
+        starts_due = round_index % cfg.run_start_interval == 0 and (
+            cfg.pipelining or round_index == 0
+        )
+        if starts_due:
+            sites = run_start_sites(boundaries, cfg.start_straight_steps)
+            started = self.run_manager.start_runs(
+                boundaries, sites, round_index, located
+            )
+            for run in started:
+                self.events.emit(
+                    round_index,
+                    "run_start",
+                    run_id=run.run_id,
+                    robot=run.robot,
+                    direction=run.direction,
+                    axis=run.axis,
+                )
+            if started:
+                located, lost = self.run_manager.locate(boundaries)
+
+        # Step 2: run operations.
+        run_moves = self.run_manager.plan(
+            boundaries, occupied, merge_moves, located, lost, round_index
+        )
+        for robot, target in run_moves.items():
+            self.events.emit(
+                round_index, "fold", robot=robot, target=target
+            )
+
+        moves: Dict[Cell, Cell] = dict(merge_moves)
+        moves.update(run_moves)  # key sets are disjoint by construction
+        return moves
+
+    # ------------------------------------------------------------------
+    def notify_applied(
+        self,
+        state: SwarmState,
+        round_index: int,
+        moves: Mapping[Cell, Cell],
+        merged: int,
+    ) -> None:
+        if merged:
+            self.events.emit(round_index, "merge", removed=merged)
+        if not self.cfg.enable_runs:
+            return
+        for run, reason in self.run_manager.finalize(moves, state.cells):
+            if reason is not None:
+                self.events.emit(
+                    round_index,
+                    "run_stop",
+                    run_id=run.run_id,
+                    reason=reason,
+                    robot=run.robot,
+                )
+
+
+def gather(
+    cells,
+    cfg: Optional[AlgorithmConfig] = None,
+    *,
+    max_rounds: Optional[int] = None,
+    check_connectivity: bool = True,
+    track_boundary: bool = False,
+    on_round=None,
+) -> GatherResult:
+    """Convenience entry point: gather a swarm, return the result.
+
+    ``cells`` is any iterable of ``(x, y)`` robot positions forming a
+    connected swarm.  See :class:`repro.core.config.AlgorithmConfig` for
+    the paper's constants and the ablation knobs.
+    """
+    controller = GatherOnGrid(cfg)
+    engine = FsyncEngine(
+        SwarmState(cells),
+        controller,
+        check_connectivity=check_connectivity,
+        track_boundary=track_boundary,
+        on_round=on_round,
+    )
+    result = engine.run(max_rounds=max_rounds)
+    result.events.extend(list(controller.events))
+    return result

@@ -1,0 +1,203 @@
+"""Quasi lines, stairways, and run start sites.
+
+Paper Definition 1: a *horizontal quasi line* is a subboundary whose first
+and last three robots are horizontally aligned, all of whose horizontal
+aligned subchains have >= 3 robots and all of whose vertical subchains have
+<= 2 robots (vertical quasi lines analogously).  *Stairways* are subchains of
+alternating left and right turns (Fig. 16).  In a mergeless swarm the outer
+boundary decomposes into quasi lines and stairways (proof of Lemma 1), and
+runs start at quasi-line endpoints (Fig. 7: Start-A / Start-B).
+
+Run start detection is purely local: a boundary robot starts a run in a
+traversal direction when the next ``start_straight_steps`` boundary steps
+ahead go straight in one cardinal direction while the step behind turns
+perpendicular — that is the endpoint corner of a quasi line.  A robot that is
+such an endpoint for both traversal directions is the paper's Start-B and
+spawns two runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.grid.boundary import Boundary
+from repro.grid.geometry import Cell, perpendicular, sub
+
+# ----------------------------------------------------------------------
+# Definition 1 predicates (analysis/tests; the algorithm uses start sites)
+# ----------------------------------------------------------------------
+def _chain_segments(chain: Sequence[Cell]) -> List[Tuple[str, int]]:
+    """Decompose a robot chain into maximal aligned segments.
+
+    Returns ``(axis, length)`` pairs with axis ``"h"``/``"v"`` and length in
+    robots.  Consecutive chain robots must be 4- or diagonal-adjacent; only
+    cardinal steps extend segments (diagonal steps break them).
+    """
+    if not chain:
+        return []
+    segs: List[Tuple[str, int]] = []
+    cur_axis: Optional[str] = None
+    cur_len = 1
+    for a, b in zip(chain, chain[1:]):
+        dx, dy = sub(b, a)
+        axis = "h" if dy == 0 and dx != 0 else ("v" if dx == 0 else None)
+        if axis is None:  # diagonal or repeated robot: break the segment
+            if cur_axis is not None:
+                segs.append((cur_axis, cur_len))
+                cur_axis, cur_len = None, 1
+            continue
+        if axis == cur_axis:
+            cur_len += 1
+        else:
+            if cur_axis is not None:
+                segs.append((cur_axis, cur_len))
+            cur_axis, cur_len = axis, 2  # both endpoints of the step
+    if cur_axis is not None:
+        segs.append((cur_axis, cur_len))
+    return segs
+
+
+def is_quasi_line(chain: Sequence[Cell], axis: str) -> bool:
+    """Definition 1 check for a horizontal (``axis="h"``) or vertical
+    (``axis="v"``) quasi line."""
+    if axis not in ("h", "v"):
+        raise ValueError("axis must be 'h' or 'v'")
+    if len(chain) < 3:
+        return False
+    segs = _chain_segments(chain)
+    if not segs:
+        return False
+    other = "v" if axis == "h" else "h"
+    # 1. first and last three robots aligned along `axis`
+    if segs[0][0] != axis or segs[0][1] < 3:
+        return False
+    if segs[-1][0] != axis or segs[-1][1] < 3:
+        return False
+    # 2. all `axis` subchains have >= 3 robots; 3. all perpendicular
+    #    subchains have <= 2 robots
+    for seg_axis, seg_len in segs:
+        if seg_axis == axis and seg_len < 3:
+            return False
+        if seg_axis == other and seg_len > 2:
+            return False
+    return True
+
+
+def is_stairway(chain: Sequence[Cell]) -> bool:
+    """True for alternating left/right unit turns (paper Fig. 16): every
+    aligned segment between the endpoints has exactly 2 robots."""
+    if len(chain) < 3:
+        return False
+    segs = _chain_segments(chain)
+    if len(segs) < 2:
+        return False
+    return all(seg_len == 2 for _, seg_len in segs)
+
+
+def boundary_segments(boundary: Boundary) -> List[Tuple[str, int, int]]:
+    """Maximal aligned segments of a boundary cycle.
+
+    Returns ``(axis, start_index, length)`` with indices into
+    ``boundary.robots``; used by the analysis layer to verify the structure
+    theorem behind Lemma 1 (mergeless => quasi lines + stairways).
+    """
+    robots = boundary.robots
+    n = len(robots)
+    if n < 2:
+        return []
+    out: List[Tuple[str, int, int]] = []
+    # scan linearly; good enough for analysis (cyclic wrap handled by caller)
+    i = 0
+    while i < n - 1:
+        dx, dy = sub(robots[i + 1], robots[i])
+        axis = "h" if dy == 0 and dx != 0 else ("v" if dx == 0 else None)
+        if axis is None:
+            i += 1
+            continue
+        j = i + 1
+        while j < n - 1 and sub(robots[j + 1], robots[j]) == (dx, dy):
+            j += 1
+        out.append((axis, i, j - i + 1))
+        i = j
+    return out
+
+
+# ----------------------------------------------------------------------
+# Run start sites (paper Fig. 7)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StartSite:
+    """A boundary position at which a robot may start a run.
+
+    ``boundary_index`` indexes into ``extract_boundaries(state)``;
+    ``position`` indexes ``boundary.robots``; ``direction`` is the traversal
+    direction (+1 with the swarm on the left / -1 reversed) in which the
+    straight stretch extends.
+    """
+
+    boundary_index: int
+    position: int
+    robot: Cell
+    direction: int
+    stretch_dir: Cell  # the cardinal direction of the quasi line ahead
+
+
+def _straight_steps(
+    robots: Tuple[Cell, ...], i: int, direction: int, want: int
+) -> Optional[Cell]:
+    """If the ``want`` boundary steps from index ``i`` in ``direction`` all
+    follow one cardinal direction, return it; else None."""
+    n = len(robots)
+    if n < want + 1:
+        return None
+    first = sub(robots[(i + direction) % n], robots[i])
+    if abs(first[0]) + abs(first[1]) != 1:
+        return None  # diagonal (pinch) step: not a straight stretch
+    for k in range(1, want):
+        a = robots[(i + direction * k) % n]
+        b = robots[(i + direction * (k + 1)) % n]
+        if sub(b, a) != first:
+            return None
+    return first
+
+
+def run_start_sites(
+    boundaries: Sequence[Boundary], straight_steps: int = 2
+) -> List[StartSite]:
+    """All run start sites over all boundary cycles.
+
+    A site is the *endpoint of a maximal straight stretch*:
+    ``straight_steps`` straight cardinal steps ahead, while the step behind
+    does not continue the stretch — it may turn perpendicularly (the paper's
+    quasi-line-meets-quasi-line corner) or step diagonally along the contour
+    (the quasi-line-meets-stairway transition; stairway robots sit in
+    concave notches, so the contour skips them diagonally).  A robot
+    matching in both traversal directions is Start-B and yields two sites.
+    """
+    sites: List[StartSite] = []
+    for b_idx, boundary in enumerate(boundaries):
+        robots = boundary.robots
+        n = len(robots)
+        if n < straight_steps + 2:
+            continue
+        for i in range(n):
+            for direction in (1, -1):
+                ahead = _straight_steps(robots, i, direction, straight_steps)
+                if ahead is None:
+                    continue
+                behind = sub(robots[(i - direction) % n], robots[i])
+                if behind == ahead:
+                    continue  # mid-stretch, not an endpoint
+                if behind == (-ahead[0], -ahead[1]):
+                    continue  # 1-thick line endpoint: leaf merges handle it
+                sites.append(
+                    StartSite(
+                        boundary_index=b_idx,
+                        position=i,
+                        robot=robots[i],
+                        direction=direction,
+                        stretch_dir=ahead,
+                    )
+                )
+    return sites

@@ -1,0 +1,414 @@
+"""Run states: the paper's reshapement mechanism (Sections 3.2, 3.3, 6).
+
+A *run* is a token travelling along a boundary cycle at one robot per round
+(Lemma 3.1) in a fixed direction.  The robot currently holding a run (the
+*runner*) performs the reshapement: at a convex corner with a free
+between-diagonal it *folds* inward — the concrete realization of the paper's
+OP-A diagonal hop (successive folds propagate the corner along the quasi
+line exactly like Fig. 13/14).  Where no fold applies the run *slides*
+(paper OP-B/OP-C: "no diagonal hops until the target corner is reached").
+
+Termination implements the paper's Table 1:
+
+1. a sequent (same-direction) run ahead becomes visible;
+2. the quasi line's endpoint lies just ahead (operationalized: a
+   perpendicular aligned segment of >= 3 robots within the passing horizon —
+   see DESIGN.md for why distant sight must not kill runs on short lines);
+3. the runner was part of a merge operation;
+4./5. the boundary changed under the run so its position can no longer be
+   re-identified (merge reshaped the subboundary mid-operation);
+6. the runner hopped onto an occupied cell (the resulting state-free merge
+   reports through rule 3).
+
+Run passing (Fig. 9 b / Section 6): two runs moving toward each other within
+the run passing distance suspend folds and slide past one another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.config import AlgorithmConfig
+from repro.core.quasiline import StartSite
+from repro.grid.boundary import Boundary
+from repro.grid.geometry import (
+    Cell,
+    add,
+    l1_distance,
+    neighbors4,
+    perpendicular,
+    sub,
+)
+
+
+@dataclass(frozen=True)
+class Run:
+    """One run state (paper Section 3.2).
+
+    ``robot`` holds the state; ``prev`` is the boundary robot behind it (the
+    context used to re-identify the run's position after the swarm moved);
+    ``direction`` is the boundary traversal direction (+1 = swarm-on-left
+    orientation of :mod:`repro.grid.boundary`); ``axis`` is the quasi line
+    axis fixed at start.
+    """
+
+    run_id: int
+    robot: Cell
+    prev: Cell
+    direction: int
+    axis: str  # "h" or "v"
+    born_round: int
+
+
+@dataclass
+class _Planned:
+    """Internal per-round plan for one run."""
+
+    run: Run
+    terminate: Optional[str] = None  # termination reason (event tag)
+    fold_to: Optional[Cell] = None
+    next_robot: Optional[Cell] = None  # pre-move cell of the next holder
+
+
+class RunManager:
+    """Owns all live runs; plans and finalizes their per-round behavior."""
+
+    def __init__(self, cfg: AlgorithmConfig) -> None:
+        self.cfg = cfg
+        self.runs: Dict[int, Run] = {}
+        self._next_id = 0
+        self._planned: List[_Planned] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def active_run_count(self) -> int:
+        return len(self.runs)
+
+    def runner_cells(self) -> Set[Cell]:
+        return {r.robot for r in self.runs.values()}
+
+    # ------------------------------------------------------------------
+    # Starting runs (paper Fig. 7 + Figure 11 step 3)
+    # ------------------------------------------------------------------
+    def start_runs(
+        self,
+        boundaries: Sequence[Boundary],
+        sites: Sequence[StartSite],
+        round_index: int,
+        located: Mapping[int, Tuple[int, int]],
+    ) -> List[Run]:
+        """Create runs at start sites that are not crowded by live runs.
+
+        The paper starts runs unconditionally and lets termination rule 1
+        clean up; we skip sites within viewing distance (along the
+        boundary) of an existing run — same spacing invariant, fewer
+        stillborn runs.  ``located`` maps live run ids to their
+        ``(boundary_index, position)`` this round.
+        """
+        occupied_positions: Dict[int, List[int]] = {}
+        for rid, (b_idx, pos) in located.items():
+            occupied_positions.setdefault(b_idx, []).append(pos)
+
+        existing_keys = {
+            (r.robot, r.direction) for r in self.runs.values()
+        }
+        # Runner cells across *all* contours: a start right next to a live
+        # runner (e.g. an inner-boundary site hugging an outer corner) would
+        # deadlock the anchor guard of `_fold_target`.
+        runner_cells = self.runner_cells()
+        started: List[Run] = []
+        for site in sorted(
+            sites, key=lambda s: (s.boundary_index, s.position, s.direction)
+        ):
+            if (site.robot, site.direction) in existing_keys:
+                continue
+            boundary = boundaries[site.boundary_index]
+            n = len(boundary.robots)
+            too_close = False
+            for pos in occupied_positions.get(site.boundary_index, ()):
+                dist = min(
+                    (pos - site.position) % n, (site.position - pos) % n
+                )
+                # distance 0 is the same robot: the paper's Start-B places
+                # two runs (opposite directions) on one endpoint robot.
+                if 0 < dist <= self.cfg.viewing_radius:
+                    too_close = True
+                    break
+            if not too_close:
+                for rc in runner_cells:
+                    if rc != site.robot and l1_distance(rc, site.robot) <= 2:
+                        too_close = True
+                        break
+            if too_close:
+                continue
+            prev = boundary.robots[(site.position - site.direction) % n]
+            axis = "h" if site.stretch_dir[1] == 0 else "v"
+            run = Run(
+                run_id=self._next_id,
+                robot=site.robot,
+                prev=prev,
+                direction=site.direction,
+                axis=axis,
+                born_round=round_index,
+            )
+            self._next_id += 1
+            self.runs[run.run_id] = run
+            existing_keys.add((run.robot, run.direction))
+            runner_cells.add(run.robot)
+            occupied_positions.setdefault(site.boundary_index, []).append(
+                site.position
+            )
+            started.append(run)
+        return started
+
+    # ------------------------------------------------------------------
+    # Locating runs on the current boundaries
+    # ------------------------------------------------------------------
+    def locate(
+        self, boundaries: Sequence[Boundary]
+    ) -> Tuple[Dict[int, Tuple[int, int]], List[int]]:
+        """Match each run to a ``(boundary_index, position)``.
+
+        A run is matched where its robot appears with its remembered
+        predecessor behind it; unmatched runs are returned as lost (the
+        subboundary changed shape under them — Table 1 conditions 4/5).
+        """
+        index: Dict[Cell, List[Tuple[int, int]]] = {}
+        for b_idx, b in enumerate(boundaries):
+            for pos, robot in enumerate(b.robots):
+                index.setdefault(robot, []).append((b_idx, pos))
+
+        located: Dict[int, Tuple[int, int]] = {}
+        lost: List[int] = []
+        for rid in sorted(self.runs):
+            run = self.runs[rid]
+            # Graded matching: the remembered predecessor may have left this
+            # contour (a fold into a hole parks the folded robot in a notch
+            # whose free sides face the inner boundary), so fall back to
+            # "predecessor within L1 distance 2" before declaring the run
+            # lost (Table 1 conditions 4/5).
+            best: Optional[Tuple[int, Tuple[int, int]]] = None
+            for b_idx, pos in index.get(run.robot, ()):  # few entries
+                robots = boundaries[b_idx].robots
+                n = len(robots)
+                if n < 2:
+                    continue
+                behind = robots[(pos - run.direction) % n]
+                if behind == run.prev:
+                    score = 0
+                elif l1_distance(behind, run.prev) <= 2:
+                    score = 1
+                else:
+                    continue
+                if best is None or score < best[0]:
+                    best = (score, (b_idx, pos))
+                    if score == 0:
+                        break
+            if best is None:
+                lost.append(rid)
+            else:
+                located[rid] = best[1]
+        return located, lost
+
+    # ------------------------------------------------------------------
+    # Per-round planning (paper Figure 11 step 2)
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        boundaries: Sequence[Boundary],
+        occupied: Set[Cell],
+        merge_moves: Mapping[Cell, Cell],
+        located: Mapping[int, Tuple[int, int]],
+        lost: Sequence[int],
+        round_index: int = -1,
+    ) -> Dict[Cell, Cell]:
+        """Decide every run's action; returns the runner fold moves."""
+        cfg = self.cfg
+        self._planned = []
+        run_moves: Dict[Cell, Cell] = {}
+
+        # positions of all located runs, for rules 1 and passing
+        at_position: Dict[Tuple[int, int], List[int]] = {}
+        for rid, bp in located.items():
+            at_position.setdefault(bp, []).append(rid)
+        runner_cells = self.runner_cells()
+
+        for rid in sorted(self.runs):
+            run = self.runs[rid]
+            if rid in lost:
+                self._planned.append(_Planned(run, terminate="run_lost"))
+                continue
+            b_idx, pos = located[rid]
+            boundary = boundaries[b_idx]
+            robots = boundary.robots
+            n = len(robots)
+
+            # Rule 3 / 6: the runner takes part in a merge this round.
+            if run.robot in merge_moves:
+                self._planned.append(_Planned(run, terminate="run_merged"))
+                continue
+
+            # A freshly started run always performs its start hop (the
+            # paper's "start runstate": generate the state, hop, hand the
+            # state on) before any visibility-based stop rule applies.
+            fresh = run.born_round == round_index
+
+            # Rule 1: sequent run visible ahead -> the run *behind* stops
+            # (paper Table 1.1).  On a closed contour "behind" means the
+            # gap ahead of us is the smaller arc; two runs chasing each
+            # other at equal distance (opposite sides of a ring) are not
+            # sequent and must both survive.
+            passing = False
+            stop = False
+            if not fresh:
+                for k in range(1, min(cfg.viewing_radius, n - 1) + 1):
+                    probe = (b_idx, (pos + run.direction * k) % n)
+                    for other_id in at_position.get(probe, ()):
+                        other = self.runs[other_id]
+                        if other_id == rid:
+                            continue
+                        if other.direction == run.direction:
+                            if 2 * k < n:  # we are genuinely the follower
+                                stop = True
+                                break
+                        elif k <= cfg.run_passing_distance:
+                            passing = True
+                    if stop:
+                        break
+            if stop:
+                self._planned.append(
+                    _Planned(run, terminate="run_saw_sequent")
+                )
+                continue
+
+            # Rule 2: quasi-line endpoint just ahead -> stop (see module
+            # docstring for the operationalization).
+            if not fresh and self._endpoint_ahead(robots, pos, run):
+                self._planned.append(
+                    _Planned(run, terminate="run_saw_endpoint")
+                )
+                continue
+
+            next_robot = robots[(pos + run.direction) % n]
+            planned = _Planned(run, next_robot=next_robot)
+
+            if not passing:
+                fold = self._fold_target(
+                    occupied, run.robot, merge_moves, runner_cells
+                )
+                if fold is not None and run.robot not in run_moves:
+                    planned.fold_to = fold
+                    run_moves[run.robot] = fold
+            self._planned.append(planned)
+        return run_moves
+
+    def _endpoint_ahead(
+        self, robots: Tuple[Cell, ...], pos: int, run: Run
+    ) -> bool:
+        """Rule 2: a perpendicular aligned segment of >= 3 robots within the
+        passing horizon ahead marks the quasi line's endpoint."""
+        cfg = self.cfg
+        n = len(robots)
+        horizon = min(cfg.run_passing_distance + 1, n - 2)
+        perp_streak = 0
+        for k in range(horizon + 1):
+            a = robots[(pos + run.direction * k) % n]
+            b = robots[(pos + run.direction * (k + 1)) % n]
+            step = sub(b, a)
+            if abs(step[0]) + abs(step[1]) != 1:
+                perp_streak = 0  # diagonal (pinch) step: no information
+                continue
+            perp = (step[0] == 0) if run.axis == "h" else (step[1] == 0)
+            if perp:
+                perp_streak += 1
+                if perp_streak >= 2:  # two steps = three aligned robots
+                    return True
+            else:
+                perp_streak = 0
+        return False
+
+    def _fold_target(
+        self,
+        occupied: Set[Cell],
+        robot: Cell,
+        merge_moves: Mapping[Cell, Cell],
+        runner_cells: Set[Cell],
+    ) -> Optional[Cell]:
+        """OP-A reshapement: convex corner fold toward the between-diagonal.
+
+        Guards (all locally checkable):
+
+        * the runner has exactly two, perpendicular, occupied 4-neighbors
+          (a convex corner) and the between-diagonal is free;
+        * both anchor neighbors are stationary this round: not part of a
+          merge move and not themselves runners (who might fold away).
+
+        With stationary anchors, *any* set of simultaneous folds preserves
+        connectivity: a degree-2 mover's only graph edges go to its two
+        anchors, and the fold keeps both adjacencies — this is how the
+        paper's Fig. 5 symmetry hazard is excluded (there, the hopping
+        robots lost an anchor adjacency).
+        """
+        nbrs = [c for c in neighbors4(robot) if c in occupied]
+        if len(nbrs) != 2:
+            return None
+        v0, v1 = sub(nbrs[0], robot), sub(nbrs[1], robot)
+        if not perpendicular(v0, v1):
+            return None
+        target = add(robot, add(v0, v1))
+        if target in occupied:
+            return None  # occupied diagonal = state-free corner merge's job
+        if nbrs[0] in merge_moves or nbrs[1] in merge_moves:
+            return None
+        if nbrs[0] in runner_cells or nbrs[1] in runner_cells:
+            return None
+        return target
+
+    # ------------------------------------------------------------------
+    # Finalization after the engine applied the round's moves
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        applied_moves: Mapping[Cell, Cell],
+        occupied_after: Set[Cell],
+    ) -> List[Tuple[Run, Optional[str]]]:
+        """Advance surviving runs and drop terminated ones.
+
+        Returns ``(run, termination_reason)`` records for event logging
+        (reason ``None`` = advanced normally).
+        """
+        outcome: List[Tuple[Run, Optional[str]]] = []
+        new_runs: Dict[int, Run] = {}
+        landing_cells = set(applied_moves.values())
+        for planned in self._planned:
+            run = planned.run
+            if planned.terminate is not None:
+                outcome.append((run, planned.terminate))
+                continue
+            # Rule 3 (passive): somebody merged onto the stationary runner.
+            if planned.fold_to is None and run.robot in landing_cells:
+                outcome.append((run, "run_merged"))
+                continue
+            assert planned.next_robot is not None
+            holder_after = (
+                planned.fold_to
+                if planned.fold_to is not None
+                else applied_moves.get(run.robot, run.robot)
+            )
+            next_after = applied_moves.get(
+                planned.next_robot, planned.next_robot
+            )
+            if next_after not in occupied_after:
+                outcome.append((run, "run_lost"))
+                continue
+            if next_after == holder_after:
+                # the next robot merged into the runner's cell
+                outcome.append((run, "run_merged"))
+                continue
+            advanced = replace(run, robot=next_after, prev=holder_after)
+            new_runs[run.run_id] = advanced
+            outcome.append((advanced, None))
+        self.runs = new_runs
+        self._planned = []
+        return outcome

@@ -1,0 +1,70 @@
+"""Local views with locality enforcement.
+
+The paper's robots see only the L1 ball of radius 20 around themselves
+(Section 1).  The simulator evaluates all rules centrally for speed, but the
+rules are written against a *membership interface* (``cell in view``), so the
+test suite can re-evaluate any decision against a :class:`LocalView` and
+prove that no rule ever inspected a cell outside the radius — that is the
+locality audit of the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+from repro.grid.geometry import Cell, l1_distance
+from repro.grid.occupancy import SwarmState
+
+
+class LocalityError(AssertionError):
+    """A decision rule inspected a cell outside the robot's viewing range."""
+
+    def __init__(self, center: Cell, cell: Cell, radius: int) -> None:
+        super().__init__(
+            f"locality violation: rule at {center} looked at {cell}, "
+            f"L1 distance {l1_distance(center, cell)} > radius {radius}"
+        )
+        self.center = center
+        self.cell = cell
+        self.radius = radius
+
+
+class LocalView:
+    """Snapshot of the occupied cells within L1 ``radius`` of ``center``.
+
+    Supports the same ``in`` protocol as :class:`SwarmState`.  Any membership
+    query outside the ball raises :class:`LocalityError` — views never lie,
+    they refuse.
+    """
+
+    __slots__ = ("center", "radius", "_occupied")
+
+    def __init__(
+        self, state: SwarmState | Set[Cell], center: Cell, radius: int
+    ) -> None:
+        occupied = state.cells if isinstance(state, SwarmState) else state
+        self.center = center
+        self.radius = radius
+        cx, cy = center
+        self._occupied: FrozenSet[Cell] = frozenset(
+            c
+            for c in occupied
+            if abs(c[0] - cx) + abs(c[1] - cy) <= radius
+        )
+
+    def __contains__(self, cell: Cell) -> bool:
+        if l1_distance(self.center, cell) > self.radius:
+            raise LocalityError(self.center, cell, self.radius)
+        return cell in self._occupied
+
+    @property
+    def cells(self) -> FrozenSet[Cell]:
+        """All occupied cells in view (for iteration in tests)."""
+        return self._occupied
+
+    def __len__(self) -> int:
+        return len(self._occupied)
+
+    def visible(self, cell: Cell) -> bool:
+        """True if ``cell`` lies inside the viewing range (occupied or not)."""
+        return l1_distance(self.center, cell) <= self.radius

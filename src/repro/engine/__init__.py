@@ -1,0 +1,36 @@
+"""Simulation engines: FSYNC (paper's time model) and ASYNC (baselines).
+
+The FSYNC engine implements the look-compute-move model of [CP04] as used by
+the paper: in every round all robots simultaneously take a snapshot, compute,
+and move; robots ending on the same cell merge.  The engine is algorithm-
+agnostic: any controller implementing :class:`Controller` can be simulated,
+which is how the core algorithm and the baselines share infrastructure.
+"""
+
+from repro.engine.errors import (
+    ConnectivityViolation,
+    NotGathered,
+    SimulationError,
+)
+from repro.engine.events import Event, EventLog
+from repro.engine.metrics import MetricsLog, RoundMetrics
+from repro.engine.scheduler import Controller, FsyncEngine, GatherResult
+from repro.engine.async_scheduler import AsyncController, AsyncEngine
+from repro.engine.termination import default_round_budget, is_gathered
+
+__all__ = [
+    "ConnectivityViolation",
+    "NotGathered",
+    "SimulationError",
+    "Event",
+    "EventLog",
+    "MetricsLog",
+    "RoundMetrics",
+    "Controller",
+    "FsyncEngine",
+    "GatherResult",
+    "AsyncController",
+    "AsyncEngine",
+    "default_round_budget",
+    "is_gathered",
+]

@@ -1,0 +1,36 @@
+"""Error types raised by the simulation engines."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for engine failures."""
+
+
+class ConnectivityViolation(SimulationError):
+    """A round left the swarm disconnected.
+
+    The paper's central safety property (Section 1: movements "must not harm
+    the (only globally checkable) swarm connectivity").  The FSYNC engine
+    raises this in ``check_connectivity`` mode, annotated with the round and
+    the offending state, so tests fail loudly instead of drifting.
+    """
+
+    def __init__(self, round_index: int, n_components: int) -> None:
+        super().__init__(
+            f"swarm disconnected into {n_components} components "
+            f"after round {round_index}"
+        )
+        self.round_index = round_index
+        self.n_components = n_components
+
+
+class NotGathered(SimulationError):
+    """The round budget was exhausted before gathering completed."""
+
+    def __init__(self, rounds: int, robots_left: int) -> None:
+        super().__init__(
+            f"not gathered after {rounds} rounds ({robots_left} robots left)"
+        )
+        self.rounds = rounds
+        self.robots_left = robots_left

@@ -1,0 +1,23 @@
+"""Termination predicates and round budgets."""
+
+from __future__ import annotations
+
+from repro.constants import GATHER_SQUARE
+from repro.grid.occupancy import SwarmState
+
+
+def is_gathered(state: SwarmState, square: int = GATHER_SQUARE) -> bool:
+    """Gathering is complete when all robots fit in a ``square`` x ``square``
+    area (paper Section 3.2: a 2x2 cluster cannot be simplified in FSYNC)."""
+    return state.is_gathered(square)
+
+
+def default_round_budget(n_robots: int, slack: int = 200) -> int:
+    """A generous linear round budget for simulations.
+
+    Theorem 1 bounds the running time by ``2 n L + n`` with ``L = 22``, i.e.
+    ``45 n``.  We default to ``slack * n + slack`` so that even configurations
+    with poor constants terminate, while an accidental super-linear regression
+    still trips the budget in tests rather than hanging.
+    """
+    return slack * max(n_robots, 1) + slack

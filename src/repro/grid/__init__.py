@@ -1,0 +1,81 @@
+"""Grid substrate: integer geometry, occupancy state, connectivity, boundaries.
+
+This package implements everything the paper's model assumes about the world:
+an infinite 2-D integer grid, 4-neighbor connectivity between robots,
+8-neighbor robot moves, and the boundary structure (outer boundary and inner
+boundaries, paper Fig. 1) on which the gathering algorithm operates.
+"""
+
+from repro.grid.geometry import (
+    Cell,
+    DIAGONALS,
+    DIRECTIONS4,
+    DIRECTIONS8,
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    add,
+    bounding_box,
+    chebyshev,
+    l1_distance,
+    neighbors4,
+    neighbors8,
+    perpendicular,
+    rotate_ccw,
+    rotate_cw,
+    scale,
+    sub,
+)
+from repro.grid.occupancy import SwarmState
+from repro.grid.connectivity import (
+    connected_components,
+    is_connected,
+    articulation_cells,
+)
+from repro.grid.boundary import (
+    Boundary,
+    boundary_cells,
+    extract_boundaries,
+    outer_boundary,
+)
+from repro.grid.envelope import (
+    smallest_enclosing_rectangle,
+    upper_envelope,
+    vector_chain,
+    monotone_subchains,
+)
+
+__all__ = [
+    "Cell",
+    "DIAGONALS",
+    "DIRECTIONS4",
+    "DIRECTIONS8",
+    "EAST",
+    "NORTH",
+    "SOUTH",
+    "WEST",
+    "add",
+    "bounding_box",
+    "chebyshev",
+    "l1_distance",
+    "neighbors4",
+    "neighbors8",
+    "perpendicular",
+    "rotate_ccw",
+    "rotate_cw",
+    "scale",
+    "sub",
+    "SwarmState",
+    "connected_components",
+    "is_connected",
+    "articulation_cells",
+    "Boundary",
+    "boundary_cells",
+    "extract_boundaries",
+    "outer_boundary",
+    "smallest_enclosing_rectangle",
+    "upper_envelope",
+    "vector_chain",
+    "monotone_subchains",
+]

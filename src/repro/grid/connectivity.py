@@ -1,0 +1,111 @@
+"""Connectivity analysis of swarm states.
+
+The paper's swarms are connected in the 4-neighborhood sense and every
+operation must preserve that (it is "the only globally checkable" property,
+Section 1).  The engine uses :func:`is_connected` as a per-round invariant
+check; :func:`articulation_cells` supports tests and the safety analysis of
+merge patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.grid.geometry import Cell, neighbors4
+
+
+def connected_components(cells: Iterable[Cell]) -> List[Set[Cell]]:
+    """Partition ``cells`` into 4-connected components (BFS, O(n))."""
+    remaining: Set[Cell] = set(cells)
+    components: List[Set[Cell]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        comp: Set[Cell] = {seed}
+        frontier = [seed]
+        remaining.discard(seed)
+        while frontier:
+            cur = frontier.pop()
+            for nb in neighbors4(cur):
+                if nb in remaining:
+                    remaining.discard(nb)
+                    comp.add(nb)
+                    frontier.append(nb)
+        components.append(comp)
+    return components
+
+
+def is_connected(cells: Iterable[Cell]) -> bool:
+    """True iff the cell set forms one 4-connected component.
+
+    The empty set and singletons are connected by convention.
+    """
+    cell_set: Set[Cell] = set(cells)
+    if len(cell_set) <= 1:
+        return True
+    seed = next(iter(cell_set))
+    seen: Set[Cell] = {seed}
+    frontier = [seed]
+    while frontier:
+        cur = frontier.pop()
+        for nb in neighbors4(cur):
+            if nb in cell_set and nb not in seen:
+                seen.add(nb)
+                frontier.append(nb)
+    return len(seen) == len(cell_set)
+
+
+def articulation_cells(cells: Iterable[Cell]) -> Set[Cell]:
+    """Cells whose removal disconnects the swarm (cut vertices).
+
+    Standard Hopcroft–Tarjan DFS on the 4-adjacency graph, iterative to
+    survive deep swarms (a 10k-robot line would blow the recursion limit).
+    Used by tests to verify that merge/fold operations never move a robot
+    whose presence is load-bearing without a replacement path.
+    """
+    cell_set: Set[Cell] = set(cells)
+    if len(cell_set) <= 2:
+        return set()
+
+    index: Dict[Cell, int] = {}
+    low: Dict[Cell, int] = {}
+    parent: Dict[Cell, Cell] = {}
+    arts: Set[Cell] = set()
+    counter = 0
+
+    for root in cell_set:
+        if root in index:
+            continue
+        root_children = 0
+        # stack holds (cell, iterator over its occupied neighbors)
+        index[root] = low[root] = counter
+        counter += 1
+        stack = [(root, iter([n for n in neighbors4(root) if n in cell_set]))]
+        while stack:
+            cell, it = stack[-1]
+            advanced = False
+            for nb in it:
+                if nb not in index:
+                    parent[nb] = cell
+                    if cell == root:
+                        root_children += 1
+                    index[nb] = low[nb] = counter
+                    counter += 1
+                    stack.append(
+                        (nb, iter([m for m in neighbors4(nb) if m in cell_set]))
+                    )
+                    advanced = True
+                    break
+                elif parent.get(cell) != nb:
+                    if index[nb] < low[cell]:
+                        low[cell] = index[nb]
+            if not advanced:
+                stack.pop()
+                if stack:
+                    pcell = stack[-1][0]
+                    if low[cell] < low[pcell]:
+                        low[pcell] = low[cell]
+                    if pcell != root and low[cell] >= index[pcell]:
+                        arts.add(pcell)
+        if root_children > 1:
+            arts.add(root)
+    return arts

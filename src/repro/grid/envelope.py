@@ -1,0 +1,135 @@
+"""Global boundary geometry: envelopes, enclosing rectangles, vector chains.
+
+These are *analysis* tools mirroring the constructions in the paper's proof
+of Lemma 1 (Fig. 18): the smallest enclosing rectangle, the upper envelope of
+the swarm, and the vector chain along the outer boundary together with its
+decomposition into longest x-monotone subchains.  The distributed algorithm
+itself never uses them (it is local); the test suite and the progress
+instrumentation use them to check that mergeless swarms really decompose
+into quasi lines and stairways and that progress pairs exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.grid.boundary import Boundary, outer_boundary
+from repro.grid.geometry import Cell, bounding_box, sub
+from repro.grid.occupancy import SwarmState
+
+
+def smallest_enclosing_rectangle(
+    state: SwarmState | Set[Cell],
+) -> tuple[int, int, int, int]:
+    """Axis-aligned smallest enclosing rectangle ``(min_x, min_y, max_x,
+    max_y)`` of the swarm (paper Fig. 18)."""
+    cells = state.cells if isinstance(state, SwarmState) else set(state)
+    return bounding_box(cells)
+
+
+def upper_envelope(state: SwarmState | Set[Cell]) -> Dict[int, int]:
+    """For every occupied column ``x``, the maximum occupied ``y``.
+
+    The paper's proof of Lemma 1 considers the upper envelope of the swarm
+    and its left-/rightmost robots ``s`` and ``t``.
+    """
+    cells = state.cells if isinstance(state, SwarmState) else set(state)
+    env: Dict[int, int] = {}
+    for x, y in cells:
+        cur = env.get(x)
+        if cur is None or y > cur:
+            env[x] = y
+    return env
+
+
+def envelope_extremes(state: SwarmState | Set[Cell]) -> tuple[Cell, Cell]:
+    """The left- and rightmost robots of the upper envelope (paper's ``s``
+    and ``t`` in the proof of Lemma 1)."""
+    env = upper_envelope(state)
+    if not env:
+        raise ValueError("empty swarm has no envelope")
+    xs = sorted(env)
+    left, right = xs[0], xs[-1]
+    return (left, env[left]), (right, env[right])
+
+
+def vector_chain(boundary: Boundary) -> List[Cell]:
+    """Unit step vectors between consecutive robots of a boundary cycle.
+
+    Consecutive boundary robots are 8-adjacent, so each vector is one of the
+    eight unit directions.  This is the paper's Fig. 18 vector chain
+    construction (closed: the vectors sum to zero).
+    """
+    robots = boundary.robots
+    n = len(robots)
+    if n <= 1:
+        return []
+    return [sub(robots[(i + 1) % n], robots[i]) for i in range(n)]
+
+
+def monotone_subchains(vectors: Sequence[Cell]) -> List[Tuple[int, int]]:
+    """Decompose a vector chain into longest x-monotone subchains.
+
+    Returns half-open index ranges ``(start, stop)`` into ``vectors``.  A
+    subchain is x-monotone while its vectors' x components do not change
+    sign; sign changes (east -> west or west -> east) start a new subchain,
+    exactly as in the paper's proof of Lemma 1 ("the second subchain starts
+    when the first vector points to the west ...").
+    """
+    if not vectors:
+        return []
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    # Sign of the current subchain's x direction; 0 until a nonzero appears.
+    sign = 0
+    for i, (vx, _) in enumerate(vectors):
+        if vx == 0:
+            continue
+        s = 1 if vx > 0 else -1
+        if sign == 0:
+            sign = s
+        elif s != sign:
+            ranges.append((start, i))
+            start = i
+            sign = s
+    ranges.append((start, len(vectors)))
+    return ranges
+
+
+def boundary_perimeter(state: SwarmState | Set[Cell]) -> int:
+    """Length (number of sides) of the outer boundary contour — a useful
+    potential function: merges and reshapement folds never increase it."""
+    return len(outer_boundary(state).sides)
+
+
+def enclosed_area(boundary: Boundary) -> float:
+    """Signed area enclosed by a boundary's side polygon via the shoelace
+    formula (positive for the outer contour, negative around holes).
+
+    Reshapement folds move boundary robots inward, so the outer enclosed
+    area is a strictly decreasing potential during mergeless phases; the
+    benchmarks use it to visualize progress (experiment E6).
+    """
+    # Each side (cell, normal) is a unit polygon edge.  Reconstruct vertex
+    # coordinates: for a cell (x, y) with normal d, the edge lies on the cell
+    # border facing d, walked in direction rotate_ccw(d).
+    pts: List[tuple[float, float]] = []
+    for (x, y), d in boundary.sides:
+        # Start vertex of the edge in walk order, on the unit square
+        # [x, x+1] x [y, y+1].
+        if d == (0, -1):  # south side, walking east
+            pts.append((x, y))
+        elif d == (1, 0):  # east side, walking north
+            pts.append((x + 1, y))
+        elif d == (0, 1):  # north side, walking west
+            pts.append((x + 1, y + 1))
+        else:  # west side, walking south
+            pts.append((x, y + 1))
+    arr = np.asarray(pts, dtype=np.float64)
+    x = arr[:, 0]
+    y = arr[:, 1]
+    return float(
+        0.5 * np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+    )

@@ -1,0 +1,164 @@
+"""Swarm occupancy state.
+
+Robots are indistinguishable and merge when they share a cell (paper
+Section 1), so the canonical state of the world is simply the *set* of
+occupied cells.  :class:`SwarmState` wraps that set with the queries the
+algorithm and the engines need, plus a bulk synchronous move application that
+implements merge-on-collision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set
+
+import numpy as np
+
+from repro.grid.geometry import (
+    Cell,
+    bounding_box,
+    chebyshev,
+    neighbors4,
+    neighbors8,
+)
+
+
+class SwarmState:
+    """The set of occupied grid cells, with neighborhood queries.
+
+    The class is mutable (``apply_moves`` advances it in place) but exposes
+    ``frozen()`` snapshots for logging and hashing.  All queries are O(1)
+    set lookups; bulk operations are O(n).
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Iterable[Cell] = ()) -> None:
+        self._cells: Set[Cell] = set(cells)
+        for c in self._cells:
+            if len(c) != 2 or not all(isinstance(v, int) for v in c):
+                raise TypeError(f"cells must be (int, int) tuples, got {c!r}")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def __contains__(self, cell: Cell) -> bool:
+        return cell in self._cells
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SwarmState):
+            return self._cells == other._cells
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SwarmState(n={len(self._cells)})"
+
+    @property
+    def cells(self) -> Set[Cell]:
+        """Direct (mutable) access to the occupied-cell set.
+
+        Exposed for the engines; algorithm code should treat it read-only.
+        """
+        return self._cells
+
+    def frozen(self) -> FrozenSet[Cell]:
+        """An immutable snapshot of the occupied cells."""
+        return frozenset(self._cells)
+
+    def copy(self) -> "SwarmState":
+        """An independent copy of this state."""
+        return SwarmState(self._cells)
+
+    # ------------------------------------------------------------------
+    # Neighborhood queries (4-neighborhood = connectivity, paper Section 1)
+    # ------------------------------------------------------------------
+    def occupied_neighbors4(self, cell: Cell) -> tuple[Cell, ...]:
+        """Occupied cardinal neighbors of ``cell``."""
+        occ = self._cells
+        return tuple(n for n in neighbors4(cell) if n in occ)
+
+    def occupied_neighbors8(self, cell: Cell) -> tuple[Cell, ...]:
+        """Occupied 8-neighbors of ``cell``."""
+        occ = self._cells
+        return tuple(n for n in neighbors8(cell) if n in occ)
+
+    def degree(self, cell: Cell) -> int:
+        """Number of occupied cardinal neighbors (connectivity degree)."""
+        occ = self._cells
+        x, y = cell
+        return (
+            ((x + 1, y) in occ)
+            + ((x, y + 1) in occ)
+            + ((x - 1, y) in occ)
+            + ((x, y - 1) in occ)
+        )
+
+    def is_boundary(self, cell: Cell) -> bool:
+        """A robot is on *some* boundary iff it has an unconnected side
+        (paper Section 1: "the boundaries consist of all robots who have at
+        least one unconnected side")."""
+        return cell in self._cells and self.degree(cell) < 4
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def bounding_box(self) -> tuple[int, int, int, int]:
+        """Axis-aligned bounding box of the swarm."""
+        return bounding_box(self._cells)
+
+    def diameter_chebyshev(self) -> int:
+        """Chebyshev diameter of the swarm (0 for a single robot)."""
+        if not self._cells:
+            raise ValueError("diameter of empty swarm")
+        min_x, min_y, max_x, max_y = self.bounding_box()
+        return max(max_x - min_x, max_y - min_y)
+
+    def is_gathered(self, square: int = 2) -> bool:
+        """True when all robots fit in a ``square`` x ``square`` area
+        (paper Section 3.2: gathering is finished in a 2x2 square, since that
+        configuration cannot be simplified further in the FSYNC model)."""
+        if not self._cells:
+            return True
+        min_x, min_y, max_x, max_y = self.bounding_box()
+        return (max_x - min_x) < square and (max_y - min_y) < square
+
+    def to_array(self) -> np.ndarray:
+        """The occupied cells as an ``(n, 2)`` int array (sorted, for
+        deterministic downstream numpy analysis)."""
+        if not self._cells:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(sorted(self._cells), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Synchronous move application
+    # ------------------------------------------------------------------
+    def apply_moves(self, moves: Mapping[Cell, Cell]) -> int:
+        """Apply a set of simultaneous robot moves; co-located robots merge.
+
+        ``moves`` maps *source* cells (must be occupied) to *target* cells.
+        Targets must be within one 8-neighbor hop (paper's movement model).
+        Robots not mentioned stay put.  After application, any cell holding
+        more than one robot holds exactly one (merge-on-collision).
+
+        Returns the number of robots removed by merging this round.
+        """
+        if not moves:
+            return 0
+        cells = self._cells
+        for src, dst in moves.items():
+            if src not in cells:
+                raise KeyError(f"move source {src} is not occupied")
+            if chebyshev(src, dst) > 1:
+                raise ValueError(
+                    f"illegal move {src} -> {dst}: farther than one hop"
+                )
+        before = len(cells)
+        stay = cells - moves.keys()
+        after: Set[Cell] = stay | {dst for dst in moves.values()}
+        self._cells = after
+        return before - len(after)

@@ -1,0 +1,52 @@
+"""Workload generators, validation, and serialization for swarms."""
+
+from repro.swarms.generators import (
+    comb,
+    diamond_ring,
+    double_donut,
+    h_shape,
+    line,
+    l_corridor,
+    plus_shape,
+    random_blob,
+    random_tree,
+    ring,
+    solid_rectangle,
+    spiral,
+    staircase,
+    staircase_corridor,
+    FAMILIES,
+    family,
+)
+from repro.swarms.validation import ensure_connected, normalize
+from repro.swarms.serialization import (
+    from_text,
+    to_text,
+    to_json,
+    from_json,
+)
+
+__all__ = [
+    "comb",
+    "diamond_ring",
+    "double_donut",
+    "h_shape",
+    "line",
+    "l_corridor",
+    "plus_shape",
+    "random_blob",
+    "random_tree",
+    "ring",
+    "solid_rectangle",
+    "spiral",
+    "staircase",
+    "staircase_corridor",
+    "FAMILIES",
+    "family",
+    "ensure_connected",
+    "normalize",
+    "from_text",
+    "to_text",
+    "to_json",
+    "from_json",
+]

@@ -1,0 +1,35 @@
+"""Swarm validation and normalization helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.grid.connectivity import connected_components, is_connected
+from repro.grid.geometry import Cell, bounding_box
+
+
+def ensure_connected(cells: Iterable[Cell]) -> List[Cell]:
+    """Return the sorted cell list, raising if empty or disconnected."""
+    out = sorted(set(cells))
+    if not out:
+        raise ValueError("swarm is empty")
+    if not is_connected(out):
+        comps = connected_components(out)
+        raise ValueError(
+            f"swarm is disconnected ({len(comps)} components; the paper's "
+            "model requires a connected initial swarm)"
+        )
+    return out
+
+
+def normalize(cells: Iterable[Cell]) -> List[Cell]:
+    """Translate the swarm so its bounding box starts at the origin.
+
+    The algorithm is translation-invariant (no compass, no origin); tests
+    use this to compare shapes up to translation.
+    """
+    cell_list = sorted(set(cells))
+    if not cell_list:
+        return []
+    min_x, min_y, _, _ = bounding_box(cell_list)
+    return [(x - min_x, y - min_y) for x, y in cell_list]

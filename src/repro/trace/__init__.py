@@ -1,0 +1,12 @@
+"""Trace recording and deterministic replay."""
+
+from repro.trace.recorder import TraceRecorder, TraceRow, load_trace
+from repro.trace.replay import replay, verify_trace
+
+__all__ = [
+    "TraceRecorder",
+    "TraceRow",
+    "load_trace",
+    "replay",
+    "verify_trace",
+]

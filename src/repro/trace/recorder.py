@@ -1,0 +1,66 @@
+"""JSONL trace recording of simulations.
+
+One row per round with the full occupied-cell set (sorted, so traces are
+canonical), plus a header row with metadata.  Traces are small for the
+paper's swarm sizes (n <= a few thousand) and make failures reproducible:
+every property-test counterexample can be dumped and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, TextIO
+
+from repro.grid.occupancy import SwarmState
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    round_index: int
+    cells: tuple
+
+
+class TraceRecorder:
+    """Engine ``on_round`` hook that writes JSONL to a file or buffer."""
+
+    def __init__(self, fh: TextIO, meta: Optional[dict] = None) -> None:
+        self.fh = fh
+        self._wrote_header = False
+        self.meta = meta or {}
+
+    def __call__(self, round_index: int, state: SwarmState) -> None:
+        if not self._wrote_header:
+            self.fh.write(
+                json.dumps({"type": "header", **self.meta}) + "\n"
+            )
+            self._wrote_header = True
+        self.fh.write(
+            json.dumps(
+                {
+                    "type": "round",
+                    "round": round_index,
+                    "cells": sorted(state.cells),
+                }
+            )
+            + "\n"
+        )
+
+
+def load_trace(lines: Iterator[str] | List[str]) -> List[TraceRow]:
+    """Parse JSONL trace content into rows (header rows are skipped)."""
+    rows: List[TraceRow] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("type") != "round":
+            continue
+        rows.append(
+            TraceRow(
+                round_index=int(obj["round"]),
+                cells=tuple((int(x), int(y)) for x, y in obj["cells"]),
+            )
+        )
+    return rows

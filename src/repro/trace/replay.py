@@ -1,0 +1,49 @@
+"""Deterministic replay: re-run a recorded swarm and compare states.
+
+The algorithm is deterministic (all tie-breaks are structural), so a replay
+from the same initial cells must reproduce every round exactly; `verify_trace`
+asserts that, catching any accidental nondeterminism (e.g. set-iteration
+order leaking into decisions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.algorithm import GatherOnGrid
+from repro.core.config import AlgorithmConfig
+from repro.engine.scheduler import FsyncEngine
+from repro.grid.occupancy import SwarmState
+from repro.trace.recorder import TraceRow
+
+
+def replay(
+    initial_cells: Sequence,
+    rounds: int,
+    cfg: Optional[AlgorithmConfig] = None,
+) -> List[frozenset]:
+    """Run the algorithm for ``rounds`` rounds, returning per-round states."""
+    states: List[frozenset] = []
+    engine = FsyncEngine(
+        SwarmState(initial_cells),
+        GatherOnGrid(cfg),
+        on_round=lambda i, s: states.append(s.frozen()),
+    )
+    for _ in range(rounds):
+        if engine.state.is_gathered():
+            break
+        engine.step()
+    return states
+
+
+def verify_trace(
+    initial_cells: Sequence,
+    trace: Sequence[TraceRow],
+    cfg: Optional[AlgorithmConfig] = None,
+) -> bool:
+    """True iff re-running reproduces the trace exactly, round for round."""
+    states = replay(initial_cells, len(trace), cfg)
+    for row, state in zip(trace, states):
+        if frozenset(row.cells) != state:
+            return False
+    return True

@@ -1,0 +1,17 @@
+"""Visualization: ASCII rendering, dependency-free SVG, paper figures."""
+
+from repro.viz.ascii_art import render, render_with_marks, side_by_side
+from repro.viz.svg import SvgCanvas, swarm_to_svg
+from repro.viz.animate import FrameRecorder
+from repro.viz.figures import FIGURES, figure
+
+__all__ = [
+    "render",
+    "render_with_marks",
+    "side_by_side",
+    "SvgCanvas",
+    "swarm_to_svg",
+    "FrameRecorder",
+    "FIGURES",
+    "figure",
+]

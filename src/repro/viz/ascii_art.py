@@ -1,0 +1,83 @@
+"""ASCII rendering of swarm states."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.grid.geometry import Cell, bounding_box
+from repro.grid.occupancy import SwarmState
+
+
+def render(
+    state: SwarmState | Iterable[Cell],
+    occupied: str = "#",
+    free: str = ".",
+    pad: int = 0,
+) -> str:
+    """Render the swarm, top row = max y (math orientation)."""
+    cells = set(state.cells if isinstance(state, SwarmState) else state)
+    if not cells:
+        return ""
+    min_x, min_y, max_x, max_y = bounding_box(cells)
+    min_x -= pad
+    min_y -= pad
+    max_x += pad
+    max_y += pad
+    lines = []
+    for y in range(max_y, min_y - 1, -1):
+        lines.append(
+            "".join(
+                occupied if (x, y) in cells else free
+                for x in range(min_x, max_x + 1)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_with_marks(
+    state: SwarmState | Iterable[Cell],
+    marks: Mapping[Cell, str],
+    occupied: str = "#",
+    free: str = ".",
+    pad: int = 0,
+) -> str:
+    """Render with per-cell override characters (runners, merge movers...).
+
+    ``marks`` wins over occupancy; mark characters must be single chars.
+    """
+    cells = set(state.cells if isinstance(state, SwarmState) else state)
+    every = cells | set(marks)
+    if not every:
+        return ""
+    min_x, min_y, max_x, max_y = bounding_box(every)
+    min_x -= pad
+    min_y -= pad
+    max_x += pad
+    max_y += pad
+    lines = []
+    for y in range(max_y, min_y - 1, -1):
+        row = []
+        for x in range(min_x, max_x + 1):
+            if (x, y) in marks:
+                row.append(marks[(x, y)][0])
+            elif (x, y) in cells:
+                row.append(occupied)
+            else:
+                row.append(free)
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def side_by_side(blocks: Sequence[str], gap: str = "   ") -> str:
+    """Join multi-line blocks horizontally (for before/after figures)."""
+    split = [b.splitlines() for b in blocks]
+    height = max(len(s) for s in split)
+    widths = [max((len(ln) for ln in s), default=0) for s in split]
+    out = []
+    for i in range(height):
+        row = []
+        for s, w in zip(split, widths):
+            ln = s[i] if i < len(s) else ""
+            row.append(ln.ljust(w))
+        out.append(gap.join(row).rstrip())
+    return "\n".join(out)

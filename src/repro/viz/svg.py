@@ -1,0 +1,159 @@
+"""Minimal dependency-free SVG writer for swarm snapshots and plots.
+
+No matplotlib in the environment, so examples export SVG directly: cells as
+squares, optional highlights (runners, merge movers), and simple polyline
+charts for scaling curves.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.grid.geometry import Cell, bounding_box
+from repro.grid.occupancy import SwarmState
+
+
+class SvgCanvas:
+    """A tiny SVG document builder."""
+
+    def __init__(self, width: float, height: float) -> None:
+        self.width = width
+        self.height = height
+        self._parts: List[str] = []
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str = "#333",
+        stroke: str = "none",
+    ) -> None:
+        self._parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def circle(
+        self, cx: float, cy: float, r: float, fill: str = "#c00"
+    ) -> None:
+        self._parts.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}"/>'
+        )
+
+    def polyline(
+        self, points: Sequence[Tuple[float, float]], stroke: str = "#06c",
+        width: float = 1.5,
+    ) -> None:
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def text(
+        self, x: float, y: float, content: str, size: float = 10.0,
+        fill: str = "#000",
+    ) -> None:
+        self._parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size:.1f}" '
+            f'fill="{fill}" font-family="monospace">'
+            f"{html.escape(content)}</text>"
+        )
+
+    def to_string(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_string())
+
+
+def swarm_to_svg(
+    state: SwarmState | Iterable[Cell],
+    *,
+    cell_px: float = 10.0,
+    highlights: Mapping[Cell, str] | None = None,
+    margin: float = 10.0,
+) -> SvgCanvas:
+    """Draw a swarm; ``highlights`` maps cells to fill colors."""
+    cells = set(state.cells if isinstance(state, SwarmState) else state)
+    if not cells:
+        raise ValueError("cannot draw an empty swarm")
+    highlights = dict(highlights or {})
+    min_x, min_y, max_x, max_y = bounding_box(cells | set(highlights))
+    w = (max_x - min_x + 1) * cell_px + 2 * margin
+    h = (max_y - min_y + 1) * cell_px + 2 * margin
+    canvas = SvgCanvas(w, h)
+    for (x, y) in sorted(cells | set(highlights)):
+        px = margin + (x - min_x) * cell_px
+        # SVG y grows downward; flip so the drawing matches math orientation
+        py = margin + (max_y - y) * cell_px
+        fill = highlights.get((x, y), "#333" if (x, y) in cells else "none")
+        if fill != "none":
+            canvas.rect(
+                px + 0.5, py + 0.5, cell_px - 1, cell_px - 1, fill=fill
+            )
+    return canvas
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: float = 480.0,
+    height: float = 320.0,
+    title: str = "",
+) -> SvgCanvas:
+    """A minimal multi-series line chart (linear axes)."""
+    colors = ["#06c", "#c33", "#292", "#a0a", "#f80", "#088", "#666"]
+    margin = 45.0
+    canvas = SvgCanvas(width, height)
+    all_pts = [p for pts in series.values() for p in pts]
+    if not all_pts:
+        raise ValueError("no data")
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+
+    def tx(x: float) -> float:
+        return margin + (x - x0) / (x1 - x0) * (width - 2 * margin)
+
+    def ty(y: float) -> float:
+        return height - margin - (y - y0) / (y1 - y0) * (height - 2 * margin)
+
+    # axes
+    canvas.polyline(
+        [(margin, margin), (margin, height - margin),
+         (width - margin, height - margin)],
+        stroke="#000", width=1.0,
+    )
+    canvas.text(margin, margin - 8, title, size=12)
+    canvas.text(width - margin - 30, height - margin + 24, f"{x1:.0f}")
+    canvas.text(margin - 5, height - margin + 24, f"{x0:.0f}")
+    canvas.text(4, margin + 4, f"{y1:.0f}")
+    canvas.text(4, height - margin, f"{y0:.0f}")
+    for i, (name, pts) in enumerate(sorted(series.items())):
+        color = colors[i % len(colors)]
+        canvas.polyline([(tx(x), ty(y)) for x, y in pts], stroke=color)
+        canvas.text(
+            width - margin + 2,
+            margin + 14 * i + 10,
+            name[:8],
+            size=9,
+            fill=color,
+        )
+    return canvas

@@ -1,0 +1,125 @@
+"""Unit tests for repro.grid.boundary (contour tracing)."""
+
+import pytest
+
+from repro.grid.boundary import (
+    boundary_cells,
+    extract_boundaries,
+    outer_boundary,
+)
+from repro.grid.geometry import chebyshev
+from repro.grid.occupancy import SwarmState
+from repro.swarms.generators import double_donut, ring, solid_rectangle
+
+
+class TestExtraction:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            extract_boundaries(SwarmState([]))
+
+    def test_single_robot(self):
+        bs = extract_boundaries(SwarmState([(5, 5)]))
+        assert len(bs) == 1
+        assert bs[0].robots == ((5, 5),)
+        assert len(bs[0].sides) == 4
+
+    def test_solid_square_one_boundary(self):
+        bs = extract_boundaries(SwarmState(solid_rectangle(4, 4)))
+        assert len(bs) == 1
+        assert bs[0].is_outer
+
+    def test_ring_has_inner_boundary(self):
+        bs = extract_boundaries(SwarmState(ring(5)))
+        assert len(bs) == 2
+        assert bs[0].is_outer and not bs[1].is_outer
+
+    def test_double_donut_three_boundaries(self):
+        bs = extract_boundaries(SwarmState(double_donut(12)))
+        assert len(bs) == 3
+        assert sum(b.is_outer for b in bs) == 1
+
+    def test_outer_first(self):
+        bs = extract_boundaries(SwarmState(ring(6)))
+        assert bs[0].is_outer
+
+
+class TestContourProperties:
+    def test_consecutive_robots_are_8_adjacent(self):
+        for cells in (ring(7), solid_rectangle(5, 3), double_donut(10)):
+            for b in extract_boundaries(SwarmState(cells)):
+                robots = b.robots
+                n = len(robots)
+                for i in range(n):
+                    assert chebyshev(robots[i], robots[(i + 1) % n]) == 1
+
+    def test_line_visits_interior_twice(self):
+        # a 1-thick line's contour passes every interior robot twice
+        b = outer_boundary(SwarmState([(i, 0) for i in range(4)]))
+        counts = {}
+        for r in b.robots:
+            counts[r] = counts.get(r, 0) + 1
+        assert counts[(1, 0)] == 2 and counts[(2, 0)] == 2
+        assert counts[(0, 0)] == 1 and counts[(3, 0)] == 1
+
+    def test_sides_face_free_cells(self):
+        state = SwarmState(ring(6))
+        occ = state.cells
+        for b in extract_boundaries(state):
+            for (cell, d) in b.sides:
+                assert cell in occ
+                assert (cell[0] + d[0], cell[1] + d[1]) not in occ
+
+    def test_all_sides_covered_once(self):
+        state = SwarmState(double_donut(10))
+        occ = state.cells
+        from repro.grid.geometry import DIRECTIONS4, add
+
+        expected = {
+            (c, d)
+            for c in occ
+            for d in DIRECTIONS4
+            if add(c, d) not in occ
+        }
+        got = []
+        for b in extract_boundaries(state):
+            got.extend(b.sides)
+        assert len(got) == len(expected)
+        assert set(got) == expected
+
+
+class TestBoundaryNavigation:
+    def test_distance_along(self):
+        b = outer_boundary(SwarmState(solid_rectangle(3, 3)))
+        n = len(b.robots)
+        assert b.distance_along(0, 2, 1) == 2
+        assert b.distance_along(2, 0, 1) == n - 2
+        assert b.distance_along(0, 2, -1) == n - 2
+
+    def test_successor_wraps(self):
+        b = outer_boundary(SwarmState(solid_rectangle(3, 3)))
+        n = len(b.robots)
+        assert b.successor(n - 1, 1) == 0
+        assert b.successor(0, -1) == n - 1
+
+    def test_indices_of(self):
+        b = outer_boundary(SwarmState([(i, 0) for i in range(3)]))
+        assert len(b.indices_of((1, 0))) == 2
+
+
+class TestBoundaryCells:
+    def test_solid_interior_excluded(self):
+        cells = boundary_cells(SwarmState(solid_rectangle(5, 5)))
+        assert (2, 2) not in cells
+        assert (0, 0) in cells
+        assert len(cells) == 16
+
+    def test_thin_everything_is_boundary(self):
+        line = [(i, 0) for i in range(5)]
+        assert boundary_cells(SwarmState(line)) == set(line)
+
+    def test_matches_union_of_contours(self):
+        state = SwarmState(double_donut(10))
+        union = set()
+        for b in extract_boundaries(state):
+            union |= b.robot_set
+        assert boundary_cells(state) == union

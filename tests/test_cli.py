@@ -1,0 +1,59 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gather_defaults(self):
+        args = build_parser().parse_args(["gather"])
+        assert args.family == "ring" and args.n == 100
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gather", "--family", "nope"])
+
+
+class TestCommands:
+    def test_gather_exit_code(self, capsys):
+        rc = main(["gather", "--family", "line", "-n", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gathered=True" in out
+
+    def test_gather_with_overrides(self, capsys):
+        rc = main(
+            ["gather", "--family", "ring", "-n", "40", "--radius", "14",
+             "--interval", "11"]
+        )
+        assert rc == 0
+
+    def test_scale_prints_table(self, capsys):
+        rc = main(["scale", "--family", "line", "--sizes", "20", "40"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rounds/n" in out and "exponent" in out
+
+    def test_figures_single(self, capsys):
+        rc = main(["figures", "fig16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stairway" in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--sizes", "12", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "euclid" in out
+
+    def test_watch_small(self, capsys):
+        rc = main(["watch", "--family", "line", "-n", "6",
+                   "--max-rounds", "50"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gathered after" in out

@@ -1,0 +1,77 @@
+"""Unit tests for AlgorithmConfig validation and LocalView locality."""
+
+import pytest
+
+from repro.constants import MAX_BUMP_LENGTH, VIEWING_RADIUS
+from repro.core.config import AlgorithmConfig
+from repro.core.view import LocalView, LocalityError
+from repro.grid.occupancy import SwarmState
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = AlgorithmConfig()
+        assert cfg.viewing_radius == VIEWING_RADIUS == 20
+        assert cfg.run_start_interval == 22
+        assert cfg.run_passing_distance == 3
+        assert cfg.max_bump_length == MAX_BUMP_LENGTH
+
+    def test_locality_budget_invariant(self):
+        cfg = AlgorithmConfig()
+        # every pattern decision must fit in a view (DESIGN.md Section 3)
+        assert 2 * cfg.max_bump_length + 2 <= cfg.viewing_radius
+
+    def test_rejects_tiny_radius(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(viewing_radius=3)
+
+    def test_rejects_oversized_bump(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(viewing_radius=10, max_bump_length=5)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(run_start_interval=0)
+
+    def test_rejects_bad_passing_distance(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(run_passing_distance=0)
+
+    def test_frozen(self):
+        cfg = AlgorithmConfig()
+        with pytest.raises(Exception):
+            cfg.viewing_radius = 5  # type: ignore[misc]
+
+
+class TestLocalView:
+    def test_membership_inside(self):
+        state = SwarmState([(0, 0), (1, 0), (10, 0)])
+        view = LocalView(state, (0, 0), radius=5)
+        assert (1, 0) in view
+        assert (2, 0) not in view
+
+    def test_far_cells_excluded_from_snapshot(self):
+        state = SwarmState([(0, 0), (10, 0)])
+        view = LocalView(state, (0, 0), radius=5)
+        assert view.cells == frozenset({(0, 0)})
+
+    def test_query_outside_raises(self):
+        view = LocalView(SwarmState([(0, 0)]), (0, 0), radius=5)
+        with pytest.raises(LocalityError):
+            (6, 0) in view
+
+    def test_l1_ball_not_chebyshev(self):
+        state = SwarmState([(3, 2), (3, 3)])
+        view = LocalView(state, (0, 0), radius=5)
+        assert (3, 2) in view  # L1 = 5, occupied
+        with pytest.raises(LocalityError):
+            (3, 3) in view  # L1 = 6 > 5: not queryable at all
+
+    def test_visible_predicate(self):
+        view = LocalView(SwarmState([(0, 0)]), (0, 0), radius=5)
+        assert view.visible((5, 0))
+        assert not view.visible((6, 0))
+
+    def test_len(self):
+        state = SwarmState([(0, 0), (1, 1), (9, 9)])
+        assert len(LocalView(state, (0, 0), radius=4)) == 2

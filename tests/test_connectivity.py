@@ -1,0 +1,85 @@
+"""Unit tests for repro.grid.connectivity."""
+
+from repro.grid.connectivity import (
+    articulation_cells,
+    connected_components,
+    is_connected,
+)
+
+
+class TestIsConnected:
+    def test_empty_and_singleton(self):
+        assert is_connected([])
+        assert is_connected([(0, 0)])
+
+    def test_line_connected(self):
+        assert is_connected([(i, 0) for i in range(10)])
+
+    def test_diagonal_not_connected(self):
+        # 4-connectivity: diagonal adjacency does not count (paper model)
+        assert not is_connected([(0, 0), (1, 1)])
+
+    def test_two_components(self):
+        assert not is_connected([(0, 0), (5, 5)])
+
+    def test_ring_connected(self):
+        cells = [
+            (x, y)
+            for x in range(4)
+            for y in range(4)
+            if x in (0, 3) or y in (0, 3)
+        ]
+        assert is_connected(cells)
+
+
+class TestComponents:
+    def test_counts(self):
+        comps = connected_components([(0, 0), (1, 0), (5, 5)])
+        assert sorted(len(c) for c in comps) == [1, 2]
+
+    def test_partition(self):
+        cells = [(0, 0), (1, 0), (5, 5), (5, 6), (9, 9)]
+        comps = connected_components(cells)
+        assert sum(len(c) for c in comps) == len(cells)
+        union = set().union(*comps)
+        assert union == set(cells)
+
+    def test_empty(self):
+        assert connected_components([]) == []
+
+
+class TestArticulation:
+    def test_line_interior_cut(self):
+        cells = [(i, 0) for i in range(5)]
+        arts = articulation_cells(cells)
+        assert arts == {(1, 0), (2, 0), (3, 0)}
+
+    def test_block_has_none(self):
+        cells = [(x, y) for x in range(3) for y in range(3)]
+        assert articulation_cells(cells) == set()
+
+    def test_ring_has_none(self):
+        cells = [
+            (x, y)
+            for x in range(4)
+            for y in range(4)
+            if x in (0, 3) or y in (0, 3)
+        ]
+        assert articulation_cells(cells) == set()
+
+    def test_bridge_between_blocks(self):
+        block1 = [(x, y) for x in range(2) for y in range(2)]
+        block2 = [(x + 4, y) for x in range(2) for y in range(2)]
+        bridge = [(2, 0), (3, 0)]
+        arts = articulation_cells(block1 + bridge + block2)
+        assert (2, 0) in arts and (3, 0) in arts
+
+    def test_tiny_swarms(self):
+        assert articulation_cells([(0, 0)]) == set()
+        assert articulation_cells([(0, 0), (1, 0)]) == set()
+
+    def test_deep_line_no_recursion_error(self):
+        # iterative Tarjan must survive a 5000-cell line
+        cells = [(i, 0) for i in range(5000)]
+        arts = articulation_cells(cells)
+        assert len(arts) == 4998

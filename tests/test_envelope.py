@@ -1,0 +1,101 @@
+"""Unit tests for repro.grid.envelope (Lemma 1 proof machinery)."""
+
+import pytest
+
+from repro.grid.boundary import outer_boundary
+from repro.grid.envelope import (
+    boundary_perimeter,
+    enclosed_area,
+    envelope_extremes,
+    monotone_subchains,
+    smallest_enclosing_rectangle,
+    upper_envelope,
+    vector_chain,
+)
+from repro.grid.occupancy import SwarmState
+from repro.swarms.generators import ring, solid_rectangle
+
+
+class TestRectangleAndEnvelope:
+    def test_ser(self):
+        s = SwarmState([(0, 0), (3, 5), (-1, 2)])
+        assert smallest_enclosing_rectangle(s) == (-1, 0, 3, 5)
+
+    def test_upper_envelope(self):
+        s = SwarmState([(0, 0), (0, 3), (1, 1)])
+        assert upper_envelope(s) == {0: 3, 1: 1}
+
+    def test_extremes(self):
+        s = SwarmState(solid_rectangle(4, 2))
+        left, right = envelope_extremes(s)
+        assert left == (0, 1)
+        assert right == (3, 1)
+
+    def test_extremes_empty_raises(self):
+        with pytest.raises(ValueError):
+            envelope_extremes(SwarmState([]))
+
+
+class TestVectorChain:
+    def test_closed_chain_sums_to_zero(self):
+        for cells in (solid_rectangle(4, 3), ring(6)):
+            b = outer_boundary(SwarmState(cells))
+            vc = vector_chain(b)
+            assert sum(v[0] for v in vc) == 0
+            assert sum(v[1] for v in vc) == 0
+
+    def test_single_robot_empty_chain(self):
+        b = outer_boundary(SwarmState([(0, 0)]))
+        assert vector_chain(b) == []
+
+    def test_unit_steps(self):
+        b = outer_boundary(SwarmState(ring(5)))
+        for v in vector_chain(b):
+            assert max(abs(v[0]), abs(v[1])) == 1
+
+
+class TestMonotoneSubchains:
+    def test_empty(self):
+        assert monotone_subchains([]) == []
+
+    def test_pure_east(self):
+        assert monotone_subchains([(1, 0)] * 4) == [(0, 4)]
+
+    def test_split_on_reversal(self):
+        vecs = [(1, 0), (1, 0), (-1, 0), (-1, 0), (1, 0)]
+        assert monotone_subchains(vecs) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_vertical_vectors_do_not_split(self):
+        vecs = [(1, 0), (0, 1), (0, -1), (1, 0)]
+        assert monotone_subchains(vecs) == [(0, 4)]
+
+    def test_covers_all_indices(self):
+        b = outer_boundary(SwarmState(ring(8)))
+        vecs = vector_chain(b)
+        ranges = monotone_subchains(vecs)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == len(vecs)
+        for (a, b1), (c, _) in zip(ranges, ranges[1:]):
+            assert b1 == c
+
+
+class TestAreaAndPerimeter:
+    def test_square_area(self):
+        b = outer_boundary(SwarmState(solid_rectangle(3, 3)))
+        assert enclosed_area(b) == pytest.approx(9.0)
+
+    def test_hole_area_negative(self):
+        bs = __import__(
+            "repro.grid.boundary", fromlist=["extract_boundaries"]
+        ).extract_boundaries(SwarmState(ring(5)))
+        inner = [b for b in bs if not b.is_outer][0]
+        # 3x3 hole traced clockwise -> negative signed area
+        assert enclosed_area(inner) == pytest.approx(-9.0)
+
+    def test_outer_area_counts_holes_as_inside(self):
+        b = outer_boundary(SwarmState(ring(5)))
+        assert enclosed_area(b) == pytest.approx(25.0)
+
+    def test_perimeter(self):
+        assert boundary_perimeter(SwarmState(solid_rectangle(3, 3))) == 12
+        assert boundary_perimeter(SwarmState([(0, 0)])) == 4

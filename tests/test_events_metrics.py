@@ -1,0 +1,83 @@
+"""Unit tests for events, metrics, and termination helpers."""
+
+import numpy as np
+
+from repro.engine.events import Event, EventLog
+from repro.engine.metrics import MetricsLog, RoundMetrics
+from repro.engine.termination import default_round_budget, is_gathered
+from repro.grid.occupancy import SwarmState
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit(0, "merge", removed=2)
+        log.emit(1, "fold", robot=(0, 0))
+        log.emit(1, "merge", removed=1)
+        assert len(log) == 3
+        merges = log.of_kind("merge")
+        assert [e.round_index for e in merges] == [0, 1]
+
+    def test_counts(self):
+        log = EventLog()
+        for _ in range(3):
+            log.emit(0, "a")
+        log.emit(1, "b")
+        assert log.counts() == {"a": 3, "b": 1}
+
+    def test_rounds_with(self):
+        log = EventLog()
+        log.emit(5, "x")
+        log.emit(2, "x")
+        log.emit(5, "x")
+        assert log.rounds_with("x") == [2, 5]
+
+    def test_event_data_frozen_shape(self):
+        e = Event(0, "merge", {"removed": 1})
+        assert e.data["removed"] == 1
+
+
+class TestMetricsLog:
+    def _make(self):
+        log = MetricsLog()
+        log.record(RoundMetrics(0, 10, 0, 5))
+        log.record(RoundMetrics(1, 8, 2, 5))
+        log.record(RoundMetrics(2, 8, 0, 4, boundary_length=12))
+        return log
+
+    def test_series(self):
+        log = self._make()
+        assert list(log.series("robots")) == [10, 8, 8]
+
+    def test_series_with_missing(self):
+        log = self._make()
+        s = log.series("boundary_length")
+        assert np.isnan(s[0]) and s[2] == 12
+
+    def test_totals(self):
+        log = self._make()
+        assert log.total_merged() == 2
+        assert log.rounds_without_merge() == 2
+
+    def test_summary(self):
+        log = self._make()
+        s = log.summary()
+        assert s["rounds"] == 3
+        assert s["merged"] == 2
+        assert s["merge_rounds"] == 1
+
+    def test_empty_summary(self):
+        assert MetricsLog().summary()["rounds"] == 0
+
+
+class TestTermination:
+    def test_is_gathered(self):
+        assert is_gathered(SwarmState([(0, 0), (1, 1)]))
+        assert not is_gathered(SwarmState([(0, 0), (2, 1)]))
+
+    def test_budget_linear(self):
+        assert default_round_budget(10) == 2200
+        assert default_round_budget(0) >= 1
+        # Theorem 1's constant (2nL + n with L=22 is 45n) fits in the budget
+        n = 100
+        assert default_round_budget(n) > 45 * n

@@ -1,0 +1,49 @@
+"""Exhaustive verification on every connected swarm up to size 7.
+
+Model checking for the gathering algorithm: there are 1+2+6+19+63+216+760
+= 1067 fixed polyominoes with at most 7 cells; every one must gather with
+connectivity intact every round.  Any symmetric FSYNC corner case (the
+paper's Figure 5 hazards, swap livelocks, ...) at small scale would be
+caught here outright.
+"""
+
+import pytest
+
+from repro.core.algorithm import gather
+from repro.core.config import AlgorithmConfig
+from repro.swarms.enumerate import all_polyominoes, polyomino_count
+
+CFG = AlgorithmConfig()
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize(
+        "n,count", [(1, 1), (2, 2), (3, 6), (4, 19), (5, 63), (6, 216)]
+    )
+    def test_counts_match_oeis(self, n, count):
+        assert polyomino_count(n) == count
+
+    def test_shapes_are_connected(self):
+        from repro.grid.connectivity import is_connected
+
+        for shape in all_polyominoes(5):
+            assert is_connected(shape)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(all_polyominoes(0))
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+def test_every_polyomino_gathers(n):
+    budget = 40 * n + 40
+    failures = []
+    for shape in all_polyominoes(n):
+        result = gather(
+            sorted(shape), CFG, max_rounds=budget, check_connectivity=True
+        )
+        if not result.gathered:
+            failures.append(sorted(shape))
+            if len(failures) >= 3:
+                break
+    assert not failures, f"stalled or broke on {len(failures)}+: {failures}"

@@ -1,0 +1,126 @@
+"""Unit tests for repro.grid.occupancy.SwarmState."""
+
+import numpy as np
+import pytest
+
+from repro.grid.occupancy import SwarmState
+
+
+class TestBasics:
+    def test_len_and_contains(self):
+        s = SwarmState([(0, 0), (1, 0)])
+        assert len(s) == 2
+        assert (0, 0) in s
+        assert (2, 2) not in s
+
+    def test_duplicates_collapse(self):
+        s = SwarmState([(0, 0), (0, 0)])
+        assert len(s) == 1
+
+    def test_copy_is_independent(self):
+        s = SwarmState([(0, 0)])
+        c = s.copy()
+        c.cells.add((5, 5))
+        assert (5, 5) not in s
+
+    def test_frozen_snapshot(self):
+        s = SwarmState([(0, 0)])
+        snap = s.frozen()
+        s.cells.add((1, 1))
+        assert snap == frozenset({(0, 0)})
+
+    def test_equality(self):
+        assert SwarmState([(0, 0), (1, 1)]) == SwarmState([(1, 1), (0, 0)])
+
+    def test_bad_cell_type_raises(self):
+        with pytest.raises(TypeError):
+            SwarmState([(0.5, 1)])
+
+
+class TestNeighborQueries:
+    def test_degree(self):
+        s = SwarmState([(0, 0), (1, 0), (0, 1), (-1, 0), (0, -1)])
+        assert s.degree((0, 0)) == 4
+        assert s.degree((1, 0)) == 1
+
+    def test_occupied_neighbors4(self):
+        s = SwarmState([(0, 0), (1, 0), (1, 1)])
+        assert set(s.occupied_neighbors4((0, 0))) == {(1, 0)}
+
+    def test_occupied_neighbors8_includes_diagonal(self):
+        s = SwarmState([(0, 0), (1, 1)])
+        assert set(s.occupied_neighbors8((0, 0))) == {(1, 1)}
+
+    def test_is_boundary(self):
+        s = SwarmState(
+            [(x, y) for x in range(3) for y in range(3)]
+        )
+        assert s.is_boundary((0, 0))
+        assert not s.is_boundary((1, 1))  # interior, degree 4
+
+
+class TestGeometry:
+    def test_bounding_box(self):
+        s = SwarmState([(1, 2), (4, -1)])
+        assert s.bounding_box() == (1, -1, 4, 2)
+
+    def test_diameter(self):
+        s = SwarmState([(0, 0), (3, 1)])
+        assert s.diameter_chebyshev() == 3
+
+    def test_is_gathered_2x2(self):
+        assert SwarmState([(0, 0), (1, 0), (0, 1), (1, 1)]).is_gathered()
+        assert not SwarmState([(0, 0), (2, 0)]).is_gathered()
+
+    def test_single_robot_gathered(self):
+        assert SwarmState([(7, 7)]).is_gathered()
+
+    def test_to_array_sorted(self):
+        s = SwarmState([(1, 0), (0, 0)])
+        arr = s.to_array()
+        assert arr.shape == (2, 2)
+        assert (arr == np.array([[0, 0], [1, 0]])).all()
+
+    def test_to_array_empty(self):
+        assert SwarmState([]).to_array().shape == (0, 2)
+
+
+class TestApplyMoves:
+    def test_plain_move(self):
+        s = SwarmState([(0, 0)])
+        merged = s.apply_moves({(0, 0): (1, 1)})
+        assert merged == 0
+        assert s.cells == {(1, 1)}
+
+    def test_merge_on_collision(self):
+        s = SwarmState([(0, 0), (1, 0)])
+        merged = s.apply_moves({(0, 0): (1, 0)})
+        assert merged == 1
+        assert s.cells == {(1, 0)}
+
+    def test_two_movers_merge_midair(self):
+        s = SwarmState([(0, 0), (2, 0)])
+        merged = s.apply_moves({(0, 0): (1, 0), (2, 0): (1, 0)})
+        assert merged == 1
+        assert s.cells == {(1, 0)}
+
+    def test_swap_does_not_merge(self):
+        s = SwarmState([(0, 0), (1, 0)])
+        merged = s.apply_moves({(0, 0): (1, 0), (1, 0): (0, 0)})
+        assert merged == 0
+        assert s.cells == {(0, 0), (1, 0)}
+
+    def test_illegal_long_move_rejected(self):
+        s = SwarmState([(0, 0)])
+        with pytest.raises(ValueError):
+            s.apply_moves({(0, 0): (2, 0)})
+
+    def test_unknown_source_rejected(self):
+        s = SwarmState([(0, 0)])
+        with pytest.raises(KeyError):
+            s.apply_moves({(5, 5): (5, 6)})
+
+    def test_empty_moves_noop(self):
+        s = SwarmState([(0, 0)])
+        assert s.apply_moves({}) == 0
+        assert s.cells == {(0, 0)}

@@ -1,0 +1,61 @@
+"""Unit tests for trace recording and deterministic replay."""
+
+import io
+
+from repro.core.algorithm import GatherOnGrid
+from repro.engine.scheduler import FsyncEngine
+from repro.grid.occupancy import SwarmState
+from repro.swarms.generators import ring
+from repro.trace.recorder import TraceRecorder, load_trace
+from repro.trace.replay import replay, verify_trace
+
+
+def record(cells, rounds):
+    buf = io.StringIO()
+    rec = TraceRecorder(buf, meta={"shape": "test"})
+    engine = FsyncEngine(SwarmState(cells), GatherOnGrid(), on_round=rec)
+    for _ in range(rounds):
+        if engine.state.is_gathered():
+            break
+        engine.step()
+    return buf.getvalue()
+
+
+class TestRecorder:
+    def test_header_written_once(self):
+        payload = record(ring(8), 3)
+        lines = payload.strip().splitlines()
+        assert lines[0].startswith('{"type": "header"')
+        assert sum(1 for l in lines if '"header"' in l) == 1
+
+    def test_rows_parse(self):
+        payload = record(ring(8), 3)
+        rows = load_trace(payload.splitlines())
+        assert [r.round_index for r in rows] == [0, 1, 2]
+        assert all(isinstance(r.cells, tuple) for r in rows)
+
+    def test_cells_sorted_canonical(self):
+        payload = record(ring(8), 1)
+        rows = load_trace(payload.splitlines())
+        assert list(rows[0].cells) == sorted(rows[0].cells)
+
+
+class TestReplay:
+    def test_replay_matches_recording(self):
+        cells = ring(10)
+        payload = record(cells, 5)
+        rows = load_trace(payload.splitlines())
+        assert verify_trace(cells, rows)
+
+    def test_tampered_trace_detected(self):
+        cells = ring(10)
+        payload = record(cells, 5)
+        rows = load_trace(payload.splitlines())
+        bad = list(rows)
+        tampered = tuple([(99, 99)] + list(bad[-1].cells[1:]))
+        bad[-1] = type(bad[-1])(bad[-1].round_index, tampered)
+        assert not verify_trace(cells, bad)
+
+    def test_replay_stops_at_gathering(self):
+        states = replay([(0, 0), (1, 0), (2, 0)], rounds=50)
+        assert len(states) <= 3

@@ -1,0 +1,141 @@
+"""Unit tests for visualization: ascii, svg, animation, figures."""
+
+import pytest
+
+from repro.grid.occupancy import SwarmState
+from repro.swarms.generators import ring, solid_rectangle
+from repro.viz.ascii_art import render, render_with_marks, side_by_side
+from repro.viz.animate import FrameRecorder
+from repro.viz.figures import FIGURES, figure
+from repro.viz.svg import SvgCanvas, line_chart, swarm_to_svg
+
+
+class TestAscii:
+    def test_render_square(self):
+        art = render(solid_rectangle(2, 2))
+        assert art == "##\n##"
+
+    def test_render_orientation_top_is_max_y(self):
+        art = render([(0, 0), (1, 1)])
+        assert art == ".#\n#."
+
+    def test_render_empty(self):
+        assert render([]) == ""
+
+    def test_marks_override(self):
+        art = render_with_marks([(0, 0), (1, 0)], {(0, 0): "R"})
+        assert art == "R#"
+
+    def test_marks_outside_swarm(self):
+        art = render_with_marks([(0, 0)], {(2, 0): "X"})
+        assert art == "#.X"
+
+    def test_side_by_side(self):
+        out = side_by_side(["ab\ncd", "x"], gap="|")
+        lines = out.splitlines()
+        assert lines[0] == "ab|x"
+        assert lines[1].startswith("cd")
+
+    def test_pad(self):
+        art = render([(0, 0)], pad=1)
+        assert art == "...\n.#.\n..."
+
+
+class TestSvg:
+    def test_canvas_builds_valid_document(self):
+        c = SvgCanvas(100, 50)
+        c.rect(0, 0, 10, 10)
+        c.circle(5, 5, 2)
+        c.text(1, 1, "hi <&>")
+        s = c.to_string()
+        assert s.startswith("<svg")
+        assert "&lt;&amp;&gt;" in s
+        assert s.count("<rect") == 2  # background + one rect
+
+    def test_swarm_to_svg(self):
+        c = swarm_to_svg(SwarmState(ring(5)), highlights={(0, 0): "#f00"})
+        s = c.to_string()
+        assert "#f00" in s
+        assert s.count("<rect") == len(ring(5)) + 1
+
+    def test_swarm_to_svg_empty_raises(self):
+        with pytest.raises(ValueError):
+            swarm_to_svg(SwarmState([]))
+
+    def test_line_chart(self):
+        c = line_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        s = c.to_string()
+        assert s.count("<polyline") == 3  # axes + 2 series
+
+    def test_line_chart_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_save(self, tmp_path):
+        p = tmp_path / "out.svg"
+        swarm_to_svg(SwarmState([(0, 0)])).save(str(p))
+        assert p.read_text().startswith("<svg")
+
+
+class TestFrameRecorder:
+    def test_capture_every_round(self):
+        rec = FrameRecorder()
+        s = SwarmState([(0, 0)])
+        rec(0, s)
+        rec(1, s)
+        assert rec.rounds == [0, 1]
+
+    def test_subsampling(self):
+        rec = FrameRecorder(every=2)
+        s = SwarmState([(0, 0)])
+        for i in range(5):
+            rec(i, s)
+        assert rec.rounds == [0, 2, 4]
+
+    def test_max_frames(self):
+        rec = FrameRecorder(max_frames=2)
+        s = SwarmState([(0, 0)])
+        for i in range(5):
+            rec(i, s)
+        assert len(rec.frames) == 2
+
+    def test_film_strip(self):
+        rec = FrameRecorder()
+        rec(0, SwarmState([(0, 0)]))
+        strip = rec.film_strip()
+        assert "round 0" in strip and "#" in strip
+
+    def test_bad_every(self):
+        with pytest.raises(ValueError):
+            FrameRecorder(every=0)
+
+    def test_to_svg_contact_sheet(self):
+        rec = FrameRecorder()
+        rec(0, SwarmState(ring(5)))
+        rec(1, SwarmState([(0, 0), (1, 0)]))
+        svg = rec.to_svg(columns=2).to_string()
+        assert svg.count("round ") == 2
+        assert "<rect" in svg
+
+    def test_to_svg_empty_raises(self):
+        with pytest.raises(ValueError):
+            FrameRecorder().to_svg()
+
+
+class TestFigures:
+    def test_all_21_figures_render(self):
+        assert len(FIGURES) == 21
+        for name in FIGURES:
+            out = figure(name)
+            assert isinstance(out, str) and len(out) > 20, name
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            figure("fig99")
+
+    def test_fig2_shows_before_after(self):
+        assert "->" in figure("fig2")
+
+    def test_fig15_shows_pipelining(self):
+        out = figure("fig15")
+        assert "Active runs per round" in out
