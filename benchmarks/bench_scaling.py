@@ -8,6 +8,8 @@ Omega(n) on the line family, whose diameter is n-1).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from benchmarks.conftest import emit
@@ -16,6 +18,12 @@ from repro.analysis.fitting import fit_linear, scaling_exponent
 from repro.analysis.tables import format_table
 from repro.core.algorithm import gather
 from repro.swarms.generators import family, line
+
+#: Worker processes for the sweeps: REPRO_JOBS=0 means one per CPU,
+#: unset/1 runs serially.  Results are bit-identical either way (per-task
+#: seeds, order-preserving collection).
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+WORKERS = None if JOBS == 1 else JOBS
 
 # family -> sweep sizes (kept modest so the suite runs in minutes)
 SWEEPS = {
@@ -40,7 +48,9 @@ LINEAR_C = 6.0
 def test_e1_rounds_scale_linearly(benchmark, family_name):
     """E1: rounds vs n per family; exponent ~1, paper Theorem 1."""
     sizes = SWEEPS[family_name]
-    points = run_scaling(family_name, sizes, check_connectivity=False)
+    points = run_scaling(
+        family_name, sizes, check_connectivity=False, workers=WORKERS
+    )
     assert all(p.gathered for p in points), f"{family_name} stalled"
 
     ns = [p.n for p in points]

@@ -1,12 +1,30 @@
-"""Experiment sweep helpers shared by benchmarks and examples."""
+"""Experiment sweep helpers shared by benchmarks, the CLI, and examples.
+
+Sweeps are embarrassingly parallel — each point is an independent
+simulation — so every runner here accepts a ``workers`` argument and fans
+the points out over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* tasks are described by picklable primitives (family name, size, seed,
+  config dataclass), never closures;
+* every task carries its own seed, so results are independent of worker
+  count and scheduling;
+* results are collected with ``Executor.map``, which preserves submission
+  order — a parallel sweep returns bit-identical output to a serial one.
+
+``workers=None`` (default) runs serially in-process; ``workers=0`` uses
+one worker per CPU.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import gather
 from repro.core.config import AlgorithmConfig
+from repro.grid.occupancy import SwarmState
 from repro.swarms.generators import family
 
 
@@ -26,6 +44,68 @@ class ScalingPoint:
         return self.rounds / max(self.n, 1)
 
 
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of sweep work (picklable: safe to ship to a worker)."""
+
+    family: str
+    n: int
+    seed: Optional[int] = None
+    cfg: Optional[AlgorithmConfig] = None
+    check_connectivity: bool = True
+    max_rounds: Optional[int] = None
+
+
+def _resolve_workers(workers: Optional[int]) -> Optional[int]:
+    """None -> serial; 0 -> one worker per CPU; n -> n workers."""
+    if workers is None or workers == 1:
+        return None
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _map_maybe_parallel(fn, items, workers: Optional[int]) -> list:
+    """Order-preserving map, fanned over a process pool when requested.
+
+    ``fn`` and every item must be picklable for the parallel path.
+    """
+    pool_size = _resolve_workers(workers)
+    if pool_size is None:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=pool_size) as executor:
+        return list(executor.map(fn, items))
+
+
+def run_job(job: SweepJob) -> ScalingPoint:
+    """Execute one sweep job (also the process-pool entry point)."""
+    cells = family(job.family, job.n, seed=job.seed)
+    diameter = SwarmState(cells).diameter_chebyshev()
+    result = gather(
+        cells,
+        job.cfg,
+        check_connectivity=job.check_connectivity,
+        max_rounds=job.max_rounds,
+    )
+    return ScalingPoint(
+        family=job.family,
+        n=result.robots_initial,
+        rounds=result.rounds,
+        gathered=result.gathered,
+        merges=result.merges_total,
+        diameter=diameter,
+    )
+
+
+def run_jobs(
+    jobs: Sequence[SweepJob], *, workers: Optional[int] = None
+) -> List[ScalingPoint]:
+    """Run sweep jobs, optionally across processes; order is preserved."""
+    return _map_maybe_parallel(run_job, jobs, workers)
+
+
 def run_scaling(
     family_name: str,
     sizes: Sequence[int],
@@ -33,35 +113,68 @@ def run_scaling(
     *,
     check_connectivity: bool = True,
     max_rounds: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> List[ScalingPoint]:
     """Gather swarms of each size from one family; collect round counts.
 
     ``n`` recorded is the *actual* robot count (generators hit the target
-    only approximately for structured shapes).
+    only approximately for structured shapes).  ``seeds`` optionally
+    provides a per-size seed for stochastic families.
     """
-    points: List[ScalingPoint] = []
-    for size in sizes:
-        cells = family(family_name, size)
-        from repro.grid.occupancy import SwarmState
-
-        diameter = SwarmState(cells).diameter_chebyshev()
-        result = gather(
-            cells,
-            cfg,
+    jobs = [
+        SweepJob(
+            family=family_name,
+            n=size,
+            seed=seeds[i] if seeds is not None else None,
+            cfg=cfg,
             check_connectivity=check_connectivity,
             max_rounds=max_rounds,
         )
-        points.append(
-            ScalingPoint(
-                family=family_name,
-                n=result.robots_initial,
-                rounds=result.rounds,
-                gathered=result.gathered,
-                merges=result.merges_total,
-                diameter=diameter,
-            )
-        )
-    return points
+        for i, size in enumerate(sizes)
+    ]
+    return run_jobs(jobs, workers=workers)
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+_AblationTask = Tuple[
+    str, object, str, int, Optional[int], Optional[int]
+]
+
+
+def _run_ablation_point(task: _AblationTask) -> int:
+    param_name, value, family_name, n, seed, max_rounds = task
+    cfg = replace(AlgorithmConfig(), **{param_name: value})
+    result = gather(
+        family(family_name, n, seed=seed), cfg, max_rounds=max_rounds
+    )
+    return result.rounds if result.gathered else -1
+
+
+def run_ablation(
+    param_name: str,
+    values: Sequence,
+    family_name: str,
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Dict[object, int]:
+    """Rounds-to-gather as a function of one AlgorithmConfig field.
+
+    The picklable counterpart of :func:`sweep` (configs are built from
+    ``(param_name, value)`` inside the worker, so the sweep can fan out
+    over processes).  A value that fails to gather maps to ``-1``.
+    """
+    tasks: List[_AblationTask] = [
+        (param_name, value, family_name, n, seed, max_rounds)
+        for value in values
+    ]
+    results = _map_maybe_parallel(_run_ablation_point, tasks, workers)
+    return dict(zip(values, results))
 
 
 def sweep(
@@ -71,7 +184,8 @@ def sweep(
     *,
     max_rounds: Optional[int] = None,
 ) -> Dict[object, int]:
-    """Ablation helper: rounds-to-gather as a function of one parameter.
+    """Ablation helper over arbitrary callables (serial only: closures do
+    not pickle — use :func:`run_ablation` for the parallel path).
 
     Returns ``{value: rounds}``; a value that fails to gather within the
     budget maps to ``-1`` (benchmarks render it as "stalled").

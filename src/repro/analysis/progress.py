@@ -15,12 +15,12 @@ them): they let tests and figures verify the paper's structural claims —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Set
 
 from repro.core.config import AlgorithmConfig
 from repro.core.patterns import plan_merges
 from repro.core.quasiline import StartSite, boundary_segments, run_start_sites
-from repro.grid.boundary import Boundary, extract_boundaries
+from repro.grid.boundary import extract_boundaries
 from repro.grid.occupancy import SwarmState
 
 

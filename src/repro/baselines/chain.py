@@ -26,7 +26,7 @@ paper inherits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.grid.geometry import Cell, chebyshev
 

@@ -13,10 +13,8 @@ connectivity check off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
-from repro.engine.metrics import MetricsLog, RoundMetrics
 from repro.engine.scheduler import FsyncEngine, GatherResult
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState

@@ -5,7 +5,9 @@ Commands
 ``gather``   run the algorithm on a generated swarm, print a summary
 ``watch``    print per-round frames while gathering (terminal animation)
 ``figures``  regenerate the paper's Figures 1-21
-``scale``    run the E1 scaling experiment for one family
+``scale``    run the E1 scaling experiment for one family (``--jobs N``
+             fans the sizes out over a process pool)
+``ablate``   sweep one AlgorithmConfig field (parallel with ``--jobs``)
 ``compare``  grid vs Euclidean vs ASYNC vs global-vision round counts
 """
 
@@ -16,7 +18,7 @@ import math
 import sys
 from typing import List, Optional
 
-from repro.analysis.experiments import run_scaling
+from repro.analysis.experiments import run_ablation, run_scaling
 from repro.analysis.fitting import fit_linear, scaling_exponent
 from repro.analysis.tables import format_table
 from repro.core.algorithm import GatherOnGrid, gather
@@ -43,6 +45,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--interval", type=int, default=None, help="run start interval L"
     )
+    p.add_argument(
+        "--full-scan",
+        action="store_true",
+        help="disable the incremental per-round pipeline (A/B baseline)",
+    )
 
 
 def _config(args: argparse.Namespace) -> AlgorithmConfig:
@@ -52,6 +59,8 @@ def _config(args: argparse.Namespace) -> AlgorithmConfig:
         kwargs["max_bump_length"] = max(1, (args.radius - 2) // 2)
     if getattr(args, "interval", None) is not None:
         kwargs["run_start_interval"] = args.interval
+    if getattr(args, "full_scan", False):
+        kwargs["incremental"] = False
     return AlgorithmConfig(**kwargs)
 
 
@@ -101,7 +110,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_scale(args: argparse.Namespace) -> int:
     sizes = args.sizes or [args.n, args.n * 2, args.n * 4]
     points = run_scaling(
-        args.family, sizes, _config(args), check_connectivity=False
+        args.family,
+        sizes,
+        _config(args),
+        check_connectivity=False,
+        workers=args.jobs,
     )
     rows = [
         (p.n, p.diameter, p.rounds, f"{p.rounds_per_n:.2f}") for p in points
@@ -121,6 +134,28 @@ def cmd_scale(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def cmd_ablate(args: argparse.Namespace) -> int:
+    results = run_ablation(
+        args.param,
+        args.values,
+        args.family,
+        args.n,
+        max_rounds=args.max_rounds,
+        workers=args.jobs,
+    )
+    rows = [
+        (v, "stalled" if r < 0 else r) for v, r in results.items()
+    ]
+    print(
+        format_table(
+            [args.param, "rounds"],
+            rows,
+            title=f"ablation of {args.param} on {args.family}(n~{args.n})",
+        )
+    )
+    return 0 if all(r >= 0 for r in results.values()) else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -178,7 +213,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scale", help="E1 scaling experiment for a family")
     _add_common(p)
     p.add_argument("--sizes", type=int, nargs="+")
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="parallel worker processes (0 = one per CPU; default serial)",
+    )
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser(
+        "ablate", help="sweep one AlgorithmConfig field (E5-E7 style)"
+    )
+    p.add_argument("param", help="AlgorithmConfig field, e.g. max_bump_length")
+    p.add_argument(
+        "values", type=int, nargs="+", help="values to sweep over"
+    )
+    p.add_argument("--family", default="ring", help="swarm family")
+    p.add_argument("-n", type=int, default=100, help="target robot count")
+    p.add_argument("--max-rounds", type=int, default=None)
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="parallel worker processes (0 = one per CPU; default serial)",
+    )
+    p.set_defaults(fn=cmd_ablate)
 
     p = sub.add_parser("compare", help="E2-E4 baseline comparison")
     p.add_argument("--sizes", type=int, nargs="+")

@@ -16,15 +16,16 @@ The controller plugs into :class:`repro.engine.FsyncEngine`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.config import AlgorithmConfig
+from repro.core.incremental import IncrementalPipeline
 from repro.core.patterns import plan_merges
 from repro.core.quasiline import run_start_sites
 from repro.core.runs import RunManager
 from repro.engine.events import EventLog
 from repro.engine.scheduler import FsyncEngine, GatherResult
-from repro.grid.boundary import Boundary, extract_boundaries
+from repro.grid.boundary import extract_boundaries
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
 
@@ -37,6 +38,9 @@ class GatherOnGrid:
         self.run_manager = RunManager(self.cfg)
         self.events = EventLog()
         self._last_patterns: Tuple[str, ...] = ()
+        self._pipeline = (
+            IncrementalPipeline(self.cfg) if self.cfg.incremental else None
+        )
 
     # Instrumentation read by the engine's metrics.
     @property
@@ -49,15 +53,23 @@ class GatherOnGrid:
     ) -> Mapping[Cell, Cell]:
         cfg = self.cfg
         occupied = state.cells
+        pipeline = self._pipeline
 
         # Step 1: merge operations (state-free).
-        merge_moves, patterns = plan_merges(state, cfg)
+        if pipeline is not None:
+            merge_moves, patterns = pipeline.plan_merges(state)
+        else:
+            merge_moves, patterns = plan_merges(state, cfg)
         self._last_patterns = tuple(p.kind for p in patterns)
 
         if not cfg.enable_runs:
             return merge_moves
 
-        boundaries = extract_boundaries(state)
+        boundaries = (
+            pipeline.boundaries(state)
+            if pipeline is not None
+            else extract_boundaries(state)
+        )
         located, lost = self.run_manager.locate(boundaries)
 
         # Step 3 (checked before acting so fresh runs reshape this same
@@ -134,6 +146,9 @@ def gather(
     the paper's constants and the ablation knobs.
     """
     controller = GatherOnGrid(cfg)
+    # The engine adopts the controller's EventLog (it is shared), so
+    # ``result.events`` is a single round-ordered log holding both the
+    # controller's events and the engine's terminal event.
     engine = FsyncEngine(
         SwarmState(cells),
         controller,
@@ -141,6 +156,4 @@ def gather(
         track_boundary=track_boundary,
         on_round=on_round,
     )
-    result = engine.run(max_rounds=max_rounds)
-    result.events.extend(list(controller.events))
-    return result
+    return engine.run(max_rounds=max_rounds)

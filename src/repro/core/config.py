@@ -59,6 +59,14 @@ class AlgorithmConfig:
     #: i.e. 2 straight steps; we follow Definition 1 with 2.
     start_straight_steps: int = 2
 
+    #: Use the dirty-region incremental pipeline
+    #: (:mod:`repro.core.incremental`): cache boundaries and merge
+    #: candidates across rounds and rescan only changed neighborhoods.
+    #: Trajectories are bit-identical with this on or off (the equivalence
+    #: suite asserts it); the knob exists for A/B benchmarks and as an
+    #: escape hatch.
+    incremental: bool = True
+
     def __post_init__(self) -> None:
         if self.viewing_radius < 5:
             raise ValueError("viewing radius must be >= 5 (paper needs 11+)")

@@ -1,0 +1,99 @@
+"""Incremental per-round pipeline: dirty-region restricted rescans.
+
+The seed implementation re-walked the whole swarm every round — boundary
+extraction, merge-pattern enumeration, and the connectivity safety check
+were each O(n) — so simulating the paper's O(n)-round algorithm cost
+O(n^2) wall-clock.  This module restricts the per-round work to the *dirty
+region*: the cells whose occupancy flipped in the last round plus their
+8-neighborhoods, as recorded by
+:meth:`repro.grid.occupancy.SwarmState.apply_moves`.
+
+**What "dirty" means.**  A cell is dirty for a round iff some cell within
+Chebyshev distance 1 of it changed occupancy when the previous round's
+moves were applied.  Every predicate the pipeline caches (contour side
+successors, bump-run membership and free sides, leaf/corner arity) reads
+only cells within Chebyshev distance 1 of its anchor cell — or, for bump
+rows/columns, only the three-line band around its line — so a cached value
+whose anchor is not dirty is still exact.  See ``docs/incremental.md`` for
+the invariant catalogue and the equality argument.
+
+**Bit-identical by construction.**  The caches reproduce the exact
+candidate/boundary *sets* of the full rescans, and every consumer of those
+sets (conflict resolution, run location, move composition) is
+order-insensitive or consumes canonically ordered input, so trajectories
+(moves, rounds, merges, events) are identical with the pipeline on or off
+— ``tests/test_incremental_equivalence.py`` asserts this against golden
+traces captured from the seed implementation.
+
+The pipeline keys its validity on ``SwarmState.version``: it applies the
+``last_changed`` delta when the state advanced by exactly one
+``apply_moves`` since the last sync, and falls back to a full rebuild on
+any other history (fresh state, replays, external mutation of
+``state.cells`` is *not* detected — engines must go through
+``apply_moves``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import AlgorithmConfig
+from repro.core.patterns import MergeCache, MergePattern
+from repro.grid.boundary import Boundary, BoundaryCache
+from repro.grid.geometry import Cell
+from repro.grid.occupancy import SwarmState
+
+
+class IncrementalPipeline:
+    """Owns the per-round caches of one controller instance."""
+
+    def __init__(self, cfg: AlgorithmConfig) -> None:
+        self.cfg = cfg
+        self.merge_cache = MergeCache(cfg)
+        self.boundary_cache = BoundaryCache()
+        # The state is held by reference (not id()): a freed state's id
+        # could be reused by a new SwarmState and alias stale caches.
+        self._state: Optional[SwarmState] = None
+        self._version: Optional[int] = None
+        self._boundaries: List[Boundary] = []
+
+    # ------------------------------------------------------------------
+    def _sync(self, state: SwarmState) -> None:
+        """Bring the caches up to date with ``state``.
+
+        Delta path: same state object, version advanced by exactly one
+        ``apply_moves`` — consume ``state.last_changed``.  Anything else
+        (first use, a different state, a version jump) rebuilds fully.
+        """
+        if self._state is state and self._version == state.version:
+            return  # already synced this round
+        cells = state.cells
+        if (
+            self._state is state
+            and self._version is not None
+            and state.version == self._version + 1
+        ):
+            changed = state.last_changed
+            self.merge_cache.update(state, changed)
+            self._boundaries = self.boundary_cache.update(
+                cells, changed, rows=state.rows()
+            )
+        else:
+            self.merge_cache.rebuild(state)
+            self._boundaries = self.boundary_cache.rebuild(cells)
+        self._state = state
+        self._version = state.version
+
+    # ------------------------------------------------------------------
+    def plan_merges(
+        self, state: SwarmState
+    ) -> Tuple[Dict[Cell, Cell], List[MergePattern]]:
+        """Drop-in replacement for :func:`repro.core.patterns.plan_merges`."""
+        self._sync(state)
+        return self.merge_cache.plan()
+
+    def boundaries(self, state: SwarmState) -> List[Boundary]:
+        """Drop-in replacement for
+        :func:`repro.grid.boundary.extract_boundaries`."""
+        self._sync(state)
+        return self._boundaries

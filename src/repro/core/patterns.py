@@ -59,48 +59,30 @@ class MergePattern:
 # ----------------------------------------------------------------------
 # Pattern enumeration
 # ----------------------------------------------------------------------
-def _maximal_runs(
-    coords: Dict[int, List[int]]
-) -> Iterable[Tuple[int, int, int]]:
-    """Yield ``(line, start, stop)`` maximal runs of consecutive integers.
-
-    ``coords`` maps a line index (row y or column x) to the sorted list of
-    positions occupied on that line; runs are inclusive of ``start`` and
-    ``stop``.
-    """
-    for line, positions in coords.items():
-        start = prev = positions[0]
-        for p in positions[1:]:
-            if p == prev + 1:
-                prev = p
-                continue
-            yield (line, start, prev)
-            start = prev = p
-        yield (line, start, prev)
+def _runs_of(positions: List[int]) -> Iterable[Tuple[int, int]]:
+    """Yield ``(start, stop)`` maximal runs of consecutive integers from a
+    sorted position list; runs are inclusive of both ends."""
+    start = prev = positions[0]
+    for p in positions[1:]:
+        if p == prev + 1:
+            prev = p
+            continue
+        yield (start, prev)
+        start = prev = p
+    yield (start, prev)
 
 
-def _bump_patterns(
-    occupied: SwarmState | Set[Cell], cfg: AlgorithmConfig
+def _row_bumps(
+    y: int, xs_sorted: List[int], cells: Set[Cell], max_len: int
 ) -> List[MergePattern]:
-    """All bump merge candidates (paper Fig. 2, both axes, both directions)."""
-    cells = occupied.cells if isinstance(occupied, SwarmState) else occupied
-    rows: Dict[int, List[int]] = {}
-    cols: Dict[int, List[int]] = {}
-    for x, y in cells:
-        rows.setdefault(y, []).append(x)
-        cols.setdefault(x, []).append(y)
-    for v in rows.values():
-        v.sort()
-    for v in cols.values():
-        v.sort()
+    """Horizontal bump candidates of one row (paper Fig. 2, both hops).
 
+    These per-line enumerators are the simulator's hottest code (profiled:
+    ~40% of a round); cell arithmetic is inlined rather than going through
+    geometry.add.
+    """
     patterns: List[MergePattern] = []
-    max_len = cfg.max_bump_length
-
-    # The two loops below are the simulator's hottest code (profiled: ~40%
-    # of a round); cell arithmetic is inlined rather than going through
-    # geometry.add.
-    for y, x0, x1 in _maximal_runs(rows):
+    for x0, x1 in _runs_of(xs_sorted):
         if x1 - x0 + 1 > max_len:
             continue  # too long to verify locally; runners must reshape it
         xs = range(x0, x1 + 1)
@@ -125,7 +107,15 @@ def _bump_patterns(
                     frozenset((x, yn) for x in xs if (x, yn) in cells),
                 )
             )
-    for x, y0, y1 in _maximal_runs(cols):
+    return patterns
+
+
+def _col_bumps(
+    x: int, ys_sorted: List[int], cells: Set[Cell], max_len: int
+) -> List[MergePattern]:
+    """Vertical bump candidates of one column (paper Fig. 2, both hops)."""
+    patterns: List[MergePattern] = []
+    for y0, y1 in _runs_of(ys_sorted):
         if y1 - y0 + 1 > max_len:
             continue
         ys_range = range(y0, y1 + 1)
@@ -153,6 +143,76 @@ def _bump_patterns(
     return patterns
 
 
+def _bump_patterns(
+    occupied: SwarmState | Set[Cell], cfg: AlgorithmConfig
+) -> List[MergePattern]:
+    """All bump merge candidates (paper Fig. 2, both axes, both directions)."""
+    cells = occupied.cells if isinstance(occupied, SwarmState) else occupied
+    rows: Dict[int, List[int]] = {}
+    cols: Dict[int, List[int]] = {}
+    for x, y in cells:
+        rows.setdefault(y, []).append(x)
+        cols.setdefault(x, []).append(y)
+    for v in rows.values():
+        v.sort()
+    for v in cols.values():
+        v.sort()
+
+    patterns: List[MergePattern] = []
+    max_len = cfg.max_bump_length
+    for y, xs in rows.items():
+        patterns.extend(_row_bumps(y, xs, cells, max_len))
+    for x, ys in cols.items():
+        patterns.extend(_col_bumps(x, ys, cells, max_len))
+    return patterns
+
+
+def _leaf_corner_for(
+    cells: Set[Cell], c: Cell, cfg: AlgorithmConfig
+) -> Optional[MergePattern]:
+    """The leaf or corner candidate of one robot (at most one exists).
+
+    Neighbor checks are inlined — the incremental rescan calls this for
+    every cell in a dirty 8-neighborhood every round.
+    """
+    x, y = c
+    nbrs = []
+    if (x + 1, y) in cells:
+        nbrs.append((x + 1, y))
+    if (x, y + 1) in cells:
+        nbrs.append((x, y + 1))
+    if (x - 1, y) in cells:
+        nbrs.append((x - 1, y))
+    if (x, y - 1) in cells:
+        nbrs.append((x, y - 1))
+    if len(nbrs) == 1:
+        # Leaf merge: always safe — removing a degree-1 vertex keeps
+        # the connectivity graph connected.
+        return MergePattern(
+            kind="leaf",
+            movers=(c,),
+            direction=sub(nbrs[0], c),
+            frozen=frozenset(nbrs),
+        )
+    if (
+        cfg.enable_corner_merges
+        and len(nbrs) == 2
+        and perpendicular(sub(nbrs[0], c), sub(nbrs[1], c))
+    ):
+        diag = add(sub(nbrs[0], c), sub(nbrs[1], c))
+        target = add(c, diag)
+        if target in cells:
+            # Corner merge: the mover stays 4-adjacent to both former
+            # neighbors from the diagonal cell.
+            return MergePattern(
+                kind="corner",
+                movers=(c,),
+                direction=diag,
+                frozen=frozenset((target,)),
+            )
+    return None
+
+
 def _leaf_corner_patterns(
     occupied: SwarmState | Set[Cell],
     cfg: AlgorithmConfig,
@@ -164,36 +224,9 @@ def _leaf_corner_patterns(
     for c in cells:
         if c in exclude:
             continue
-        nbrs = [n for n in neighbors4(c) if n in cells]
-        if len(nbrs) == 1:
-            # Leaf merge: always safe — removing a degree-1 vertex keeps
-            # the connectivity graph connected.
-            patterns.append(
-                MergePattern(
-                    kind="leaf",
-                    movers=(c,),
-                    direction=sub(nbrs[0], c),
-                    frozen=frozenset(nbrs),
-                )
-            )
-        elif (
-            cfg.enable_corner_merges
-            and len(nbrs) == 2
-            and perpendicular(sub(nbrs[0], c), sub(nbrs[1], c))
-        ):
-            diag = add(sub(nbrs[0], c), sub(nbrs[1], c))
-            target = add(c, diag)
-            if target in cells:
-                # Corner merge: the mover stays 4-adjacent to both former
-                # neighbors from the diagonal cell.
-                patterns.append(
-                    MergePattern(
-                        kind="corner",
-                        movers=(c,),
-                        direction=diag,
-                        frozen=frozenset((target,)),
-                    )
-                )
+        p = _leaf_corner_for(cells, c, cfg)
+        if p is not None:
+            patterns.append(p)
     return patterns
 
 
@@ -254,7 +287,19 @@ def plan_merges(
         m for p in candidates for m in p.movers
     }
     candidates.extend(_leaf_corner_patterns(state, cfg, exclude=bump_movers))
+    return _resolve(candidates)
 
+
+def _resolve(
+    candidates: List[MergePattern],
+) -> Tuple[Dict[Cell, Cell], List[MergePattern]]:
+    """Conflict resolution over the full candidate set (see plan_merges).
+
+    Purely set-based: the resulting *moves* are independent of candidate
+    order, which is what lets the cached enumeration of
+    :class:`MergeCache` assemble candidates in a different order than the
+    full scan while producing bit-identical trajectories.
+    """
     movers_all: Set[Cell] = {m for p in candidates for m in p.movers}
     frozen_all: Set[Cell] = set()
     for p in candidates:
@@ -272,6 +317,195 @@ def plan_merges(
             continue
         surviving.append(p)
     return compose_moves(surviving), surviving
+
+
+# ----------------------------------------------------------------------
+# Incremental candidate enumeration (dirty-region restricted rescans)
+# ----------------------------------------------------------------------
+class MergeCache:
+    """Caches merge-pattern candidates between engine rounds.
+
+    Granularity of invalidation (see ``docs/incremental.md``):
+
+    * horizontal bump candidates of row ``y`` depend only on occupancy in
+      rows ``y-1 .. y+1`` — a row is re-enumerated iff a cell in that band
+      flipped (columns analogously);
+    * the leaf/corner candidate of robot ``c`` depends on occupancy within
+      Chebyshev distance 1 of ``c`` *and* on whether ``c`` is a bump mover
+      — ``c`` is re-evaluated iff a cell in its 8-neighborhood flipped or
+      its bump-mover status changed.
+
+    ``candidates()`` therefore returns exactly the candidate *set* the full
+    scan of :func:`plan_merges` would produce, in a different order.
+    """
+
+    def __init__(self, cfg: AlgorithmConfig) -> None:
+        self.cfg = cfg
+        self._row_patterns: Dict[int, List[MergePattern]] = {}
+        self._col_patterns: Dict[int, List[MergePattern]] = {}
+        self._cell_patterns: Dict[Cell, MergePattern] = {}
+        # Bump movers, maintained per axis by line-level deltas (a cell
+        # belongs to exactly one row and one column, so at most one
+        # pattern per axis) — never re-unioned over all patterns.
+        self._row_movers: Set[Cell] = set()
+        self._col_movers: Set[Cell] = set()
+        self._primed = False
+
+    def rebuild(self, state: SwarmState) -> None:
+        """Full enumeration; resets the cache."""
+        cfg = self.cfg
+        cells = state.cells
+        rows, cols = state.rows(), state.cols()
+
+        max_len = cfg.max_bump_length
+        if cfg.enable_bump_merges:
+            self._row_patterns = {
+                y: ps
+                for y, xs in rows.items()
+                if (ps := _row_bumps(y, xs, cells, max_len))
+            }
+            self._col_patterns = {
+                x: ps
+                for x, ys in cols.items()
+                if (ps := _col_bumps(x, ys, cells, max_len))
+            }
+        else:
+            self._row_patterns = {}
+            self._col_patterns = {}
+        self._row_movers = {
+            m
+            for ps in self._row_patterns.values()
+            for p in ps
+            for m in p.movers
+        }
+        self._col_movers = {
+            m
+            for ps in self._col_patterns.values()
+            for p in ps
+            for m in p.movers
+        }
+        self._cell_patterns = {}
+        for c in cells:
+            if c in self._row_movers or c in self._col_movers:
+                continue
+            p = _leaf_corner_for(cells, c, self.cfg)
+            if p is not None:
+                self._cell_patterns[c] = p
+        self._primed = True
+
+    def update(self, state: SwarmState, changed: Iterable[Cell]) -> None:
+        """Re-enumerate only the dirty rows/columns/neighborhoods."""
+        if not self._primed:
+            self.rebuild(state)
+            return
+        changed = set(changed)
+        if not changed:
+            return
+        cfg = self.cfg
+        cells = state.cells
+        rows, cols = state.rows(), state.cols()
+
+        row_movers, col_movers = self._row_movers, self._col_movers
+        touched: Set[Cell] = set()
+        if cfg.enable_bump_merges:
+            max_len = cfg.max_bump_length
+            dirty_rows = {y + dy for _, y in changed for dy in (-1, 0, 1)}
+            dirty_cols = {x + dx for x, _ in changed for dx in (-1, 0, 1)}
+            # Collect (line, new patterns) first so mover membership can
+            # be snapshotted before any line's movers are swapped out.
+            row_updates = []
+            for y in dirty_rows:
+                old_m = {
+                    m
+                    for p in self._row_patterns.get(y, ())
+                    for m in p.movers
+                }
+                ps = (
+                    _row_bumps(y, rows[y], cells, max_len)
+                    if y in rows
+                    else None
+                )
+                new_m = (
+                    {m for p in ps for m in p.movers} if ps else set()
+                )
+                row_updates.append((y, ps, old_m, new_m))
+                touched |= old_m ^ new_m
+            col_updates = []
+            for x in dirty_cols:
+                old_m = {
+                    m
+                    for p in self._col_patterns.get(x, ())
+                    for m in p.movers
+                }
+                ps = (
+                    _col_bumps(x, cols[x], cells, max_len)
+                    if x in cols
+                    else None
+                )
+                new_m = (
+                    {m for p in ps for m in p.movers} if ps else set()
+                )
+                col_updates.append((x, ps, old_m, new_m))
+                touched |= old_m ^ new_m
+
+            was_mover = {
+                c: c in row_movers or c in col_movers for c in touched
+            }
+            for y, ps, old_m, new_m in row_updates:
+                if ps:
+                    self._row_patterns[y] = ps
+                else:
+                    self._row_patterns.pop(y, None)
+                row_movers -= old_m - new_m
+                row_movers |= new_m
+            for x, ps, old_m, new_m in col_updates:
+                if ps:
+                    self._col_patterns[x] = ps
+                else:
+                    self._col_patterns.pop(x, None)
+                col_movers -= old_m - new_m
+                col_movers |= new_m
+            mover_delta = {
+                c
+                for c in touched
+                if (c in row_movers or c in col_movers) != was_mover[c]
+            }
+        else:
+            mover_delta = set()
+
+        leaf_dirty: Set[Cell] = set(mover_delta)
+        for cx, cy in changed:
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    leaf_dirty.add((cx + dx, cy + dy))
+        cell_patterns = self._cell_patterns
+        for c in leaf_dirty:
+            p = (
+                _leaf_corner_for(cells, c, cfg)
+                if c in cells
+                and c not in row_movers
+                and c not in col_movers
+                else None
+            )
+            if p is not None:
+                cell_patterns[c] = p
+            else:
+                cell_patterns.pop(c, None)
+
+    def candidates(self) -> List[MergePattern]:
+        """The full candidate list (bumps first, then leaf/corner)."""
+        out: List[MergePattern] = []
+        for ps in self._row_patterns.values():
+            out.extend(ps)
+        for ps in self._col_patterns.values():
+            out.extend(ps)
+        out.extend(self._cell_patterns.values())
+        return out
+
+    def plan(self) -> Tuple[Dict[Cell, Cell], List[MergePattern]]:
+        """Resolve the cached candidates; same contract as
+        :func:`plan_merges`."""
+        return _resolve(self.candidates())
 
 
 # ----------------------------------------------------------------------

@@ -105,6 +105,21 @@ class RunManager:
         boundary) of an existing run — same spacing invariant, fewer
         stillborn runs.  ``located`` maps live run ids to their
         ``(boundary_index, position)`` this round.
+
+        On *short* contours — cycle length at most ``2 * viewing_radius +
+        2``, where every site is within viewing distance of every other —
+        the along-boundary spacing filter is disabled, approximating the
+        paper's unconditional starts (the runner-cell adjacency guard
+        below still applies).  There the filter starves the
+        contour down to one run per batch, and since opposite runs *pass*
+        rather than collide, a filtered tiny ring can circulate forever (a
+        livelock; the seed implementation only escaped it through
+        accidental hash-order entropy in its boundary enumeration,
+        whereas this implementation's canonical boundary enumeration made
+        it deterministic).  Unconditional starts restore the paper's
+        progress mechanism — opposing runs reshape the contour under each
+        other until merges fire — and termination rule 1 cleans up the
+        surplus, exactly as the paper intends.
         """
         occupied_positions: Dict[int, List[int]] = {}
         for rid, (b_idx, pos) in located.items():
@@ -118,6 +133,7 @@ class RunManager:
         # deadlock the anchor guard of `_fold_target`.
         runner_cells = self.runner_cells()
         started: List[Run] = []
+        short = 2 * self.cfg.viewing_radius + 2
         for site in sorted(
             sites, key=lambda s: (s.boundary_index, s.position, s.direction)
         ):
@@ -126,15 +142,17 @@ class RunManager:
             boundary = boundaries[site.boundary_index]
             n = len(boundary.robots)
             too_close = False
-            for pos in occupied_positions.get(site.boundary_index, ()):
-                dist = min(
-                    (pos - site.position) % n, (site.position - pos) % n
-                )
-                # distance 0 is the same robot: the paper's Start-B places
-                # two runs (opposite directions) on one endpoint robot.
-                if 0 < dist <= self.cfg.viewing_radius:
-                    too_close = True
-                    break
+            if n > short:
+                for pos in occupied_positions.get(site.boundary_index, ()):
+                    dist = min(
+                        (pos - site.position) % n, (site.position - pos) % n
+                    )
+                    # distance 0 is the same robot: the paper's Start-B
+                    # places two runs (opposite directions) on one
+                    # endpoint robot.
+                    if 0 < dist <= self.cfg.viewing_radius:
+                        too_close = True
+                        break
             if not too_close:
                 for rc in runner_cells:
                     if rc != site.robot and l1_distance(rc, site.robot) <= 2:
@@ -173,12 +191,11 @@ class RunManager:
         A run is matched where its robot appears with its remembered
         predecessor behind it; unmatched runs are returned as lost (the
         subboundary changed shape under them — Table 1 conditions 4/5).
-        """
-        index: Dict[Cell, List[Tuple[int, int]]] = {}
-        for b_idx, b in enumerate(boundaries):
-            for pos, robot in enumerate(b.robots):
-                index.setdefault(robot, []).append((b_idx, pos))
 
+        Uses each boundary's cached ``position_index`` (built once per
+        Boundary object), so contours the incremental pipeline kept across
+        rounds cost nothing to re-index.
+        """
         located: Dict[int, Tuple[int, int]] = {}
         lost: List[int] = []
         for rid in sorted(self.runs):
@@ -189,22 +206,23 @@ class RunManager:
             # "predecessor within L1 distance 2" before declaring the run
             # lost (Table 1 conditions 4/5).
             best: Optional[Tuple[int, Tuple[int, int]]] = None
-            for b_idx, pos in index.get(run.robot, ()):  # few entries
-                robots = boundaries[b_idx].robots
+            for b_idx, b in enumerate(boundaries):
+                robots = b.robots
                 n = len(robots)
                 if n < 2:
                     continue
-                behind = robots[(pos - run.direction) % n]
-                if behind == run.prev:
-                    score = 0
-                elif l1_distance(behind, run.prev) <= 2:
-                    score = 1
-                else:
-                    continue
-                if best is None or score < best[0]:
-                    best = (score, (b_idx, pos))
-                    if score == 0:
-                        break
+                for pos in b.position_index.get(run.robot, ()):
+                    behind = robots[(pos - run.direction) % n]
+                    if behind == run.prev:
+                        score = 0
+                    elif l1_distance(behind, run.prev) <= 2:
+                        score = 1
+                    else:
+                        continue
+                    if best is None or score < best[0]:
+                        best = (score, (b_idx, pos))
+                if best is not None and best[0] == 0:
+                    break
             if best is None:
                 lost.append(rid)
             else:
@@ -230,8 +248,10 @@ class RunManager:
 
         # positions of all located runs, for rules 1 and passing
         at_position: Dict[Tuple[int, int], List[int]] = {}
+        runs_per_boundary: Dict[int, int] = {}
         for rid, bp in located.items():
             at_position.setdefault(bp, []).append(rid)
+            runs_per_boundary[bp[0]] = runs_per_boundary.get(bp[0], 0) + 1
         runner_cells = self.runner_cells()
 
         for rid in sorted(self.runs):
@@ -261,7 +281,9 @@ class RunManager:
             # sequent and must both survive.
             passing = False
             stop = False
-            if not fresh:
+            # Probing is only meaningful when another run shares this
+            # contour — the common single-run case skips the scan.
+            if not fresh and runs_per_boundary.get(b_idx, 0) > 1:
                 for k in range(1, min(cfg.viewing_radius, n - 1) + 1):
                     probe = (b_idx, (pos + run.direction * k) % n)
                     for other_id in at_position.get(probe, ()):
@@ -311,15 +333,23 @@ class RunManager:
         cfg = self.cfg
         n = len(robots)
         horizon = min(cfg.run_passing_distance + 1, n - 2)
+        if horizon < 1:
+            # Degenerate contour (n <= 2): the clamped horizon leaves no
+            # room for a 3-robot aligned segment (two steps), and the
+            # probe indices below would wrap around the whole cycle.
+            return False
         perp_streak = 0
+        dirn = run.direction
+        horizontal = run.axis == "h"
+        a = robots[pos % n]
         for k in range(horizon + 1):
-            a = robots[(pos + run.direction * k) % n]
-            b = robots[(pos + run.direction * (k + 1)) % n]
-            step = sub(b, a)
-            if abs(step[0]) + abs(step[1]) != 1:
+            b = robots[(pos + dirn * (k + 1)) % n]
+            sx, sy = b[0] - a[0], b[1] - a[1]
+            a = b
+            if abs(sx) + abs(sy) != 1:
                 perp_streak = 0  # diagonal (pinch) step: no information
                 continue
-            perp = (step[0] == 0) if run.axis == "h" else (step[1] == 0)
+            perp = (sx == 0) if horizontal else (sy == 0)
             if perp:
                 perp_streak += 1
                 if perp_streak >= 2:  # two steps = three aligned robots

@@ -10,7 +10,7 @@ locality audit of the reproduction.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Set
+from typing import FrozenSet, Set
 
 from repro.grid.geometry import Cell, l1_distance
 from repro.grid.occupancy import SwarmState

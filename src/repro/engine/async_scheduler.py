@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol
+from typing import List, Optional, Protocol
 
-from repro.engine.errors import ConnectivityViolation, NotGathered
+from repro.engine.errors import ConnectivityViolation
 from repro.engine.events import EventLog
 from repro.engine.metrics import MetricsLog, RoundMetrics
 from repro.engine.termination import default_round_budget, is_gathered
@@ -82,15 +82,11 @@ class AsyncEngine:
                 continue
             if chebyshev(robot, target) > 1:
                 raise ValueError(f"illegal async move {robot} -> {target}")
-            cells = state.cells
-            cells.discard(robot)
-            if target in cells:
+            if state.move_robot(robot, target):
                 merged += 1
-            else:
-                cells.add(target)
             self.activations += 1
             if self.check_connectivity:
-                comps = connected_components(cells)
+                comps = connected_components(state.cells)
                 if len(comps) > 1:
                     raise ConnectivityViolation(self.round_index, len(comps))
         self.metrics.record(

@@ -9,7 +9,7 @@ pipelining figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping
 
 
 @dataclass(frozen=True)

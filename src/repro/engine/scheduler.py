@@ -17,15 +17,19 @@ swarm is gathered into a 2x2 square or the round budget runs out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Protocol
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Protocol
 
 from repro.engine.errors import ConnectivityViolation, NotGathered
 from repro.engine.events import EventLog
 from repro.engine.metrics import MetricsLog, RoundMetrics
 from repro.engine.termination import default_round_budget, is_gathered
 from repro.grid.boundary import outer_boundary
-from repro.grid.connectivity import connected_components, is_connected
+from repro.grid.connectivity import (
+    connected_components,
+    is_connected,
+    locally_connected_after,
+)
 from repro.grid.envelope import enclosed_area
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
@@ -86,8 +90,16 @@ class FsyncEngine:
         The algorithm to simulate.
     check_connectivity:
         Verify 4-connectivity after every round and raise
-        :class:`ConnectivityViolation` on breakage.  O(n) per round; on by
-        default because it is the paper's safety property.
+        :class:`ConnectivityViolation` on breakage.  On by default because
+        it is the paper's safety property.  The check is localized to the
+        round's dirty region (``state.last_changed``) and falls back to
+        the full O(n) BFS only when the local window cannot prove
+        connectivity — e.g. when a vacated cell is a potential cut vertex
+        whose sides reconnect, if at all, far away.
+    incremental_connectivity:
+        Allow the localized check above.  Off forces the seed's full BFS
+        every round (used by the equivalence tests; the observable
+        behavior is identical either way).
     track_boundary:
         Also record outer-boundary length and enclosed area per round
         (costs one boundary trace per round; used by figures/ablations).
@@ -102,6 +114,7 @@ class FsyncEngine:
         controller: Controller,
         *,
         check_connectivity: bool = True,
+        incremental_connectivity: bool = True,
         track_boundary: bool = False,
         gather_square: int = 2,
         on_round: Optional[Callable[[int, SwarmState], None]] = None,
@@ -113,12 +126,24 @@ class FsyncEngine:
         self.state = state
         self.controller = controller
         self.check_connectivity = check_connectivity
+        self.incremental_connectivity = incremental_connectivity
         self.track_boundary = track_boundary
         self.gather_square = gather_square
         self.on_round = on_round
         self.metrics = MetricsLog()
-        self.events = EventLog()
+        # One shared, round-ordered log: if the controller keeps an
+        # EventLog the engine adopts it, so controller events and the
+        # engine's terminal events land in the same place (this is what
+        # ``GatherResult.events`` exposes).  The adoption implies a 1:1
+        # controller/engine pairing — sharing one controller across
+        # engines shares one log (and run/cache state); gather() builds
+        # a fresh controller per call for exactly this reason.
+        ctrl_events = getattr(controller, "events", None)
+        self.events = (
+            ctrl_events if isinstance(ctrl_events, EventLog) else EventLog()
+        )
         self.round_index = 0
+        self._terminal_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     def step(self) -> int:
@@ -129,9 +154,17 @@ class FsyncEngine:
         self.controller.notify_applied(state, self.round_index, moves, merged)
 
         if self.check_connectivity:
-            comps = connected_components(state.cells)
-            if len(comps) > 1:
-                raise ConnectivityViolation(self.round_index, len(comps))
+            # The engine applied exactly one apply_moves since the last
+            # check, so state.last_changed is the round's dirty region and
+            # the localized proof applies; anything it cannot prove gets
+            # the full BFS (bit-identical outcome, just slower).
+            if not (
+                self.incremental_connectivity
+                and locally_connected_after(state.cells, state.last_changed)
+            ):
+                comps = connected_components(state.cells)
+                if len(comps) > 1:
+                    raise ConnectivityViolation(self.round_index, len(comps))
 
         boundary_len: Optional[int] = None
         area: Optional[float] = None
@@ -176,6 +209,18 @@ class FsyncEngine:
             gathered = is_gathered(self.state, self.gather_square)
         if not gathered and raise_on_budget:
             raise NotGathered(self.round_index, len(self.state))
+        # Terminal event (round_index == total rounds executed): the log
+        # records how the simulation ended, not only what happened in it.
+        # A resumed run that made progress logs a new terminal; calling
+        # run() again without any step does not duplicate the last one.
+        if self.state.version != self._terminal_version:
+            self.events.emit(
+                self.round_index,
+                "gathered" if gathered else "budget_exhausted",
+                rounds=self.round_index,
+                robots=len(self.state),
+            )
+            self._terminal_version = self.state.version
         return GatherResult(
             gathered=gathered,
             rounds=self.round_index,

@@ -17,45 +17,21 @@ at places where the diameter of the swarm's boundary amounts only 1".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.grid.geometry import (
     Cell,
     DIRECTIONS4,
     SOUTH,
     add,
-    rotate_ccw,
-    rotate_cw,
+    neighbors8,
 )
 from repro.grid.occupancy import SwarmState
 
 #: A boundary side: (occupied cell, outward unit normal into free space).
 Side = Tuple[Cell, Cell]
-
-
-def _next_side(occupied: Set[Cell], side: Side) -> Side:
-    """Successor of ``side`` walking with the swarm on the left.
-
-    With outward normal ``d`` the walk direction is ``m = rotate_ccw(d)``.
-    Let ``A = cell + m`` (ahead) and ``B = A + d`` (ahead, outside corner):
-
-    * ``A`` free               -> convex corner: stay on ``cell``, normal
-      rotates counterclockwise;
-    * ``A`` occupied, ``B`` free -> straight wall: advance to ``A``;
-    * ``A`` and ``B`` occupied -> concave corner: jump to ``B``, normal
-      rotates clockwise.
-    """
-    # Hot loop (profiled): inline rotate_ccw/rotate_cw/add.
-    (cx, cy), (dx, dy) = side
-    mx, my = -dy, dx  # rotate_ccw(d)
-    a = (cx + mx, cy + my)
-    if a not in occupied:
-        return ((cx, cy), (mx, my))  # convex: normal rotates ccw
-    b = (a[0] + dx, a[1] + dy)
-    if b not in occupied:
-        return (a, (dx, dy))  # straight
-    return (b, (dy, -dx))  # concave: normal rotates cw
 
 
 @dataclass(frozen=True)
@@ -75,10 +51,23 @@ class Boundary:
     def __len__(self) -> int:
         return len(self.robots)
 
-    @property
+    @cached_property
     def robot_set(self) -> frozenset[Cell]:
         """The set of distinct robots on this boundary."""
         return frozenset(self.robots)
+
+    @cached_property
+    def position_index(self) -> Dict[Cell, List[int]]:
+        """Robot cell -> all cycle indices at which it appears (ascending).
+
+        Cached on the (immutable) boundary so the run manager can relocate
+        runs on contours kept across rounds without rebuilding an index.
+        """
+        idx: Dict[Cell, List[int]] = {}
+        setdefault = idx.setdefault
+        for pos, robot in enumerate(self.robots):
+            setdefault(robot, []).append(pos)
+        return idx
 
     def successor(self, index: int, direction: int = 1) -> int:
         """Index of the next robot along the cycle in ``direction`` (+1/-1)."""
@@ -109,10 +98,92 @@ def _collapse(cells: Sequence[Cell]) -> Tuple[Cell, ...]:
     return tuple(out)
 
 
+def _trace_cycle(occupied: Set[Cell], start: Side) -> List[Side]:
+    """The full boundary cycle through ``start``.
+
+    Successor rule, walking with the swarm on the left: with outward
+    normal ``d`` the walk direction is ``m = rotate_ccw(d)``; let
+    ``A = cell + m`` (ahead) and ``B = A + d`` (ahead, outside corner):
+
+    * ``A`` free                 -> convex corner: stay on ``cell``,
+      normal rotates counterclockwise;
+    * ``A`` occupied, ``B`` free -> straight wall: advance to ``A``;
+    * ``A`` and ``B`` occupied   -> concave corner: jump to ``B``, normal
+      rotates clockwise.
+
+    The rule is inlined (no per-side function call, no geometry helpers):
+    this loop runs once per side of every re-traced contour and is the
+    profile's hottest spot on contour-dominated swarms.
+    """
+    trace: List[Side] = [start]
+    append = trace.append
+    (cx, cy), (dx, dy) = start
+    while True:
+        mx, my = -dy, dx  # rotate_ccw(d)
+        ax, ay = cx + mx, cy + my
+        if (ax, ay) not in occupied:
+            cur = ((cx, cy), (mx, my))  # convex: normal rotates ccw
+            dx, dy = mx, my
+        elif (ax + dx, ay + dy) not in occupied:
+            cur = ((ax, ay), (dx, dy))  # straight
+            cx, cy = ax, ay
+        else:
+            cx, cy = ax + dx, ay + dy  # concave: normal rotates cw
+            dx, dy = dy, -dx
+            cur = ((cx, cy), (dx, dy))
+        if cur == start:
+            return trace
+        append(cur)
+
+
+def _make_boundary(
+    trace: List[Side], *, is_outer: bool, anchor: Side
+) -> Boundary:
+    """Canonicalize a traced cycle into a :class:`Boundary`.
+
+    The cycle is rotated to a start side that depends only on the cycle's
+    geometry — the anchor side for the outer contour, the lexicographically
+    smallest side for inner contours — so that full and incremental
+    extraction produce byte-identical Boundary objects regardless of where
+    the trace happened to begin.
+    """
+    pivot = trace.index(anchor) if is_outer else trace.index(min(trace))
+    if pivot:
+        trace = trace[pivot:] + trace[:pivot]
+    return Boundary(
+        sides=tuple(trace),
+        robots=_collapse([c for c, _ in trace]),
+        is_outer=is_outer,
+    )
+
+
+def _sorted_boundaries(boundaries: List[Boundary]) -> List[Boundary]:
+    """Canonical list order: the outer contour first, inner contours by
+    their (canonical) first side."""
+    boundaries.sort(key=lambda b: (not b.is_outer, b.sides[0]))
+    return boundaries
+
+
+def outer_anchor(occupied: Set[Cell]) -> Side:
+    """The bottommost (then leftmost) cell's south side — always on the
+    outer contour."""
+    anchor_cell = min(occupied, key=lambda c: (c[1], c[0]))
+    return (anchor_cell, SOUTH)
+
+
+def _outer_anchor_from_rows(rows: Dict[int, List[int]]) -> Side:
+    """:func:`outer_anchor` in O(#rows) via a maintained row index."""
+    y = min(rows)
+    return ((rows[y][0], y), SOUTH)
+
+
 def extract_boundaries(state: SwarmState | Set[Cell]) -> List[Boundary]:
     """All boundary contours of the swarm; the outer one is listed first.
 
     Raises ``ValueError`` on an empty swarm.  O(total number of sides).
+    Output is canonical (see :func:`_make_boundary`): independent of set
+    iteration order, and reproducible by the incremental
+    :class:`BoundaryCache`.
     """
     occupied: Set[Cell] = (
         state.cells if isinstance(state, SwarmState) else set(state)
@@ -126,10 +197,7 @@ def extract_boundaries(state: SwarmState | Set[Cell]) -> List[Boundary]:
         for d in DIRECTIONS4
         if add(c, d) not in occupied
     }
-    # The bottommost (then leftmost) cell's south side is always on the
-    # outer contour.
-    anchor_cell = min(occupied, key=lambda c: (c[1], c[0]))
-    anchor: Side = (anchor_cell, SOUTH)
+    anchor = outer_anchor(occupied)
     assert anchor in all_sides
 
     boundaries: List[Boundary] = []
@@ -140,24 +208,12 @@ def extract_boundaries(state: SwarmState | Set[Cell]) -> List[Boundary]:
         start = seeds.pop() if seeds else next(iter(unvisited))
         if start not in unvisited:
             continue
-        trace: List[Side] = []
-        cur = start
-        while True:
-            trace.append(cur)
-            unvisited.discard(cur)
-            cur = _next_side(occupied, cur)
-            if cur == start:
-                break
+        trace = _trace_cycle(occupied, start)
+        unvisited.difference_update(trace)
         boundaries.append(
-            Boundary(
-                sides=tuple(trace),
-                robots=_collapse([c for c, _ in trace]),
-                is_outer=(start == anchor),
-            )
+            _make_boundary(trace, is_outer=(start == anchor), anchor=anchor)
         )
-    # Put the outer boundary first.
-    boundaries.sort(key=lambda b: not b.is_outer)
-    return boundaries
+    return _sorted_boundaries(boundaries)
 
 
 def outer_boundary(state: SwarmState | Set[Cell]) -> Boundary:
@@ -182,3 +238,148 @@ def boundary_cells(state: SwarmState | Set[Cell]) -> Set[Cell]:
                 out.add(c)
                 break
     return out
+
+
+class BoundaryCache:
+    """Incremental boundary extraction across engine rounds.
+
+    Invariant exploited (see ``docs/incremental.md``): a contour cycle's
+    side-to-side successor depends only on occupancy within Chebyshev
+    distance 1 of the side's cell.  Hence a cached :class:`Boundary` none
+    of whose robots lies within Chebyshev distance 1 of a cell whose
+    occupancy flipped ("clean") is still *exactly* a boundary cycle of the
+    new configuration and is reused as-is; every other current cycle must
+    pass through a side whose cell is *dirty* and is re-traced from the
+    dirty cells' sides.  Combined with the canonical rotation/ordering of
+    :func:`extract_boundaries`, ``update`` returns byte-identical results
+    to a full extraction.
+
+    The clean-cycle argument assumes the swarm stays *connected* (as the
+    paper's model and the engine's safety check guarantee): on connected
+    swarms an invalidated outer contour is always re-traced through the
+    anchor side.  On disconnected input — reachable only with
+    ``check_connectivity=False`` — the anchor may migrate to a contour
+    that was kept; ``update`` detects that and re-flags the kept contour,
+    still matching full extraction.
+    """
+
+    def __init__(self) -> None:
+        self._boundaries: List[Boundary] = []
+        self._primed = False
+
+    def rebuild(self, occupied: Set[Cell]) -> List[Boundary]:
+        """Full extraction; resets the cache."""
+        self._boundaries = extract_boundaries(occupied)
+        self._primed = True
+        return list(self._boundaries)
+
+    def update(
+        self,
+        occupied: Set[Cell],
+        changed: Iterable[Cell],
+        rows: Dict[int, List[int]] | None = None,
+    ) -> List[Boundary]:
+        """Boundaries of ``occupied`` given the cells whose occupancy
+        flipped since the cached configuration.
+
+        ``rows`` is an optional ``y -> sorted xs`` index of ``occupied``
+        (``SwarmState.rows()``): with it, re-anchoring an invalidated
+        outer contour costs O(#rows) instead of an O(n) scan.
+        """
+        if not self._primed:
+            return self.rebuild(occupied)
+        dirty: Set[Cell] = set()
+        for ch in changed:
+            dirty.add(ch)
+            dirty.update(neighbors8(ch))
+        if not dirty:
+            return list(self._boundaries)
+
+        # The dirty set is small, so per-boundary isdisjoint (C-level hash
+        # probes of each dirty cell) beats maintaining a reverse index.
+        # Note: no early exit when nothing was invalidated — a vacated
+        # *interior* cell opens a brand-new hole contour whose robots were
+        # on no cached boundary, and only the seed loop below finds it.
+        kept: List[Boundary] = []
+        invalid: List[Boundary] = []
+        for b in self._boundaries:
+            (kept if b.robot_set.isdisjoint(dirty) else invalid).append(b)
+
+        # If the outer contour was invalidated, exactly one current cycle
+        # contains the anchor side: that one is the new outer contour.
+        anchor = (
+            _outer_anchor_from_rows(rows) if rows else outer_anchor(occupied)
+        )
+        outer_pending = any(b.is_outer for b in invalid)
+        demoted = False
+        if not outer_pending:
+            # The outer contour was kept.  On a connected swarm its
+            # canonical first side IS the anchor (O(1) check); a mismatch
+            # means disconnected input moved the anchor to another
+            # contour — demote the stale outer (inner-canonical rotation,
+            # as full extraction would) and promote the anchor's contour.
+            for i, b in enumerate(kept):
+                if b.is_outer:
+                    if b.sides[0] != anchor:
+                        kept[i] = _make_boundary(
+                            list(b.sides), is_outer=False, anchor=anchor
+                        )
+                        outer_pending = True
+                        demoted = True
+                    break
+
+        visited: Set[Side] = set()
+        retraced: List[Boundary] = []
+        for c in dirty:
+            if c not in occupied:
+                continue
+            cx, cy = c
+            for dx, dy in DIRECTIONS4:
+                if (cx + dx, cy + dy) in occupied:
+                    continue
+                start: Side = (c, (dx, dy))
+                if start in visited:
+                    continue
+                trace = _trace_cycle(occupied, start)
+                visited.update(trace)
+                is_outer = outer_pending and anchor in trace
+                if is_outer:
+                    outer_pending = False
+                retraced.append(
+                    _make_boundary(trace, is_outer=is_outer, anchor=anchor)
+                )
+        if outer_pending:
+            # Disconnected input only (see class docstring): the anchor
+            # side now lies on a contour that was kept — re-rotate and
+            # re-flag it as the outer, exactly as full extraction would.
+            for i, b in enumerate(kept):
+                if anchor in b.sides:
+                    kept[i] = _make_boundary(
+                        list(b.sides), is_outer=True, anchor=anchor
+                    )
+                    break
+            demoted = True
+        if demoted:
+            # A kept contour changed its sort key in place: the fast
+            # merge below would interleave wrongly — re-sort everything.
+            self._boundaries = _sorted_boundaries(kept + retraced)
+            return list(self._boundaries)
+        # `kept` is already in canonical order (a subsequence of the cached
+        # canonical list); merge the few retraced contours into it instead
+        # of re-sorting everything (porous blobs have hundreds of inner
+        # contours, of which a round typically touches a handful).
+        retraced.sort(key=lambda b: (not b.is_outer, b.sides[0]))
+        merged: List[Boundary] = []
+        i = j = 0
+        while i < len(kept) and j < len(retraced):
+            bk, br = kept[i], retraced[j]
+            if (not bk.is_outer, bk.sides[0]) <= (not br.is_outer, br.sides[0]):
+                merged.append(bk)
+                i += 1
+            else:
+                merged.append(br)
+                j += 1
+        merged.extend(kept[i:])
+        merged.extend(retraced[j:])
+        self._boundaries = merged
+        return list(self._boundaries)

@@ -9,7 +9,7 @@ merge patterns.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set
+from typing import Dict, Iterable, List, Set
 
 from repro.grid.geometry import Cell, neighbors4
 
@@ -32,6 +32,78 @@ def connected_components(cells: Iterable[Cell]) -> List[Set[Cell]]:
                     frontier.append(nb)
         components.append(comp)
     return components
+
+
+def locally_connected_after(
+    cells: Set[Cell], changed: Iterable[Cell], window: int = 2
+) -> bool:
+    """Sound local re-check of connectivity after a bounded change.
+
+    ``cells`` is the post-move occupancy, ``changed`` the cells whose
+    occupancy flipped.  Returns True only when connectivity is *proven*
+    by independent local certificates; False means "inconclusive — run
+    the full BFS", never "disconnected".
+
+    Certificates, one per 4-connected *group* of changed cells (so
+    unrelated changes on opposite sides of the swarm never need a joint
+    path):
+
+    * every group of *vacated* cells with two or more surviving
+      4-neighbors must have those survivors reconnect to each other
+      within the group's bounding box grown by ``window`` — then any
+      pre-move path entering and leaving the group has a local detour
+      (a maximal vacated run along a 4-path is 4-connected, hence inside
+      one group);
+    * every group of *newly occupied* cells must touch a surviving cell
+      — then the new cells hang off the (still connected) survivors.
+
+    A vacated group acting as a cut set — its sides reconnect, if at
+    all, only far away — fails its certificate and triggers the full-BFS
+    fallback in the caller.
+    """
+    changed = set(changed)
+    if not changed:
+        return True  # nothing moved: connectivity is unchanged
+    added = {ch for ch in changed if ch in cells}
+    vacated = changed - added
+
+    for group in connected_components(added):
+        if not any(
+            nb in cells and nb not in added
+            for c in group
+            for nb in neighbors4(c)
+        ):
+            return False  # new cells not attached to any survivor
+    for group in connected_components(vacated):
+        survivors = {
+            nb for c in group for nb in neighbors4(c) if nb in cells
+        }
+        if len(survivors) <= 1:
+            continue  # no path can cross the group between two survivors
+        xs = [c[0] for c in group]
+        ys = [c[1] for c in group]
+        x_lo, x_hi = min(xs) - window, max(xs) + window
+        y_lo, y_hi = min(ys) - window, max(ys) + window
+        start = next(iter(survivors))
+        seen = {start}
+        frontier = [start]
+        missing = len(survivors) - 1
+        while frontier and missing:
+            x, y = frontier.pop()
+            for nb in ((x + 1, y), (x, y + 1), (x - 1, y), (x, y - 1)):
+                if (
+                    nb not in seen
+                    and nb in cells
+                    and x_lo <= nb[0] <= x_hi
+                    and y_lo <= nb[1] <= y_hi
+                ):
+                    seen.add(nb)
+                    frontier.append(nb)
+                    if nb in survivors:
+                        missing -= 1
+        if missing:
+            return False  # potential cut: needs the full BFS
+    return True
 
 
 def is_connected(cells: Iterable[Cell]) -> bool:

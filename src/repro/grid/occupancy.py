@@ -9,7 +9,8 @@ implements merge-on-collision.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set
+from bisect import bisect_left, insort
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set
 
 import numpy as np
 
@@ -28,15 +29,59 @@ class SwarmState:
     The class is mutable (``apply_moves`` advances it in place) but exposes
     ``frozen()`` snapshots for logging and hashing.  All queries are O(1)
     set lookups; bulk operations are O(n).
+
+    ``apply_moves`` additionally records the *dirty region* of the round —
+    ``last_changed`` holds every cell whose occupancy flipped (vacated or
+    newly occupied), and ``version`` counts applications — so incremental
+    consumers (:mod:`repro.core.incremental`, the engine's localized
+    connectivity check) can restrict their per-round work to the
+    neighborhoods that actually moved.
     """
 
-    __slots__ = ("_cells",)
+    __slots__ = (
+        "_cells",
+        "last_changed",
+        "version",
+        "_rows",
+        "_cols",
+        "_bbox",
+        "_bbox_version",
+    )
 
     def __init__(self, cells: Iterable[Cell] = ()) -> None:
         self._cells: Set[Cell] = set(cells)
         for c in self._cells:
             if len(c) != 2 or not all(isinstance(v, int) for v in c):
                 raise TypeError(f"cells must be (int, int) tuples, got {c!r}")
+        #: Cells whose occupancy flipped in the last ``apply_moves``.
+        self.last_changed: FrozenSet[Cell] = frozenset()
+        #: Number of move applications performed on this state.
+        self.version: int = 0
+        # Lazily built row/column indices (y -> sorted xs, x -> sorted ys),
+        # maintained incrementally once built; None until first requested.
+        self._rows: Dict[int, list] | None = None
+        self._cols: Dict[int, list] | None = None
+        self._bbox: tuple | None = None
+        self._bbox_version: int = -1
+
+    @classmethod
+    def from_validated(cls, cells: Set[Cell]) -> "SwarmState":
+        """Wrap an already-validated cell set without re-checking each cell.
+
+        The per-cell isinstance validation in ``__init__`` is O(n) and shows
+        up in profiles when states are copied in hot loops (sweeps, engine
+        snapshots).  Callers must pass a *fresh* ``set`` of ``(int, int)``
+        tuples — the set is adopted, not copied.
+        """
+        obj = cls.__new__(cls)
+        obj._cells = cells
+        obj.last_changed = frozenset()
+        obj.version = 0
+        obj._rows = None
+        obj._cols = None
+        obj._bbox = None
+        obj._bbox_version = -1
+        return obj
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -71,8 +116,51 @@ class SwarmState:
         return frozenset(self._cells)
 
     def copy(self) -> "SwarmState":
-        """An independent copy of this state."""
-        return SwarmState(self._cells)
+        """An independent copy of this state (validated fast path)."""
+        return SwarmState.from_validated(set(self._cells))
+
+    # ------------------------------------------------------------------
+    # Row/column indices (lazily built, incrementally maintained)
+    # ------------------------------------------------------------------
+    def rows(self) -> Dict[int, List[int]]:
+        """``y -> sorted occupied xs``; built on first use, then kept in
+        sync by ``apply_moves``/``move_robot``.  Shared by the merge-
+        pattern scan and the bounding-box queries so the per-round cost
+        is O(changed), not O(n)."""
+        if self._rows is None:
+            rows: Dict[int, List[int]] = {}
+            cols: Dict[int, List[int]] = {}
+            for x, y in self._cells:
+                rows.setdefault(y, []).append(x)
+                cols.setdefault(x, []).append(y)
+            for v in rows.values():
+                v.sort()
+            for v in cols.values():
+                v.sort()
+            self._rows, self._cols = rows, cols
+        return self._rows
+
+    def cols(self) -> Dict[int, List[int]]:
+        """``x -> sorted occupied ys`` (see :meth:`rows`)."""
+        if self._cols is None:
+            self.rows()
+        return self._cols
+
+    def _index_add(self, cell: Cell) -> None:
+        x, y = cell
+        insort(self._rows.setdefault(y, []), x)
+        insort(self._cols.setdefault(x, []), y)
+
+    def _index_remove(self, cell: Cell) -> None:
+        x, y = cell
+        xs = self._rows[y]
+        del xs[bisect_left(xs, x)]
+        if not xs:
+            del self._rows[y]
+        ys = self._cols[x]
+        del ys[bisect_left(ys, y)]
+        if not ys:
+            del self._cols[x]
 
     # ------------------------------------------------------------------
     # Neighborhood queries (4-neighborhood = connectivity, paper Section 1)
@@ -108,8 +196,26 @@ class SwarmState:
     # Geometry
     # ------------------------------------------------------------------
     def bounding_box(self) -> tuple[int, int, int, int]:
-        """Axis-aligned bounding box of the swarm."""
-        return bounding_box(self._cells)
+        """Axis-aligned bounding box of the swarm.
+
+        O(#rows) via the row index (cached per ``version``): the engine
+        queries the box twice per round (termination + metrics), which
+        made the O(n) scan one of the last full-swarm walks per round.
+        """
+        if not self._cells:
+            return bounding_box(self._cells)  # raises ValueError
+        if self._bbox_version == self.version and self._bbox is not None:
+            return self._bbox
+        rows = self.rows()
+        min_x = max_x = None
+        for xs in rows.values():
+            if min_x is None or xs[0] < min_x:
+                min_x = xs[0]
+            if max_x is None or xs[-1] > max_x:
+                max_x = xs[-1]
+        self._bbox = (min_x, min(rows), max_x, max(rows))
+        self._bbox_version = self.version
+        return self._bbox
 
     def diameter_chebyshev(self) -> int:
         """Chebyshev diameter of the swarm (0 for a single robot)."""
@@ -146,8 +252,15 @@ class SwarmState:
         more than one robot holds exactly one (merge-on-collision).
 
         Returns the number of robots removed by merging this round.
+
+        Side effect: ``last_changed`` is set to the cells whose occupancy
+        flipped (sources left empty plus targets newly filled) and
+        ``version`` is bumped — the dirty region the incremental pipeline
+        keys its caches on.
         """
         if not moves:
+            self.last_changed = frozenset()
+            self.version += 1
             return 0
         cells = self._cells
         for src, dst in moves.items():
@@ -159,6 +272,44 @@ class SwarmState:
                 )
         before = len(cells)
         stay = cells - moves.keys()
-        after: Set[Cell] = stay | {dst for dst in moves.values()}
+        targets = set(moves.values())
+        after: Set[Cell] = stay | targets
         self._cells = after
+        changed = frozenset(
+            {src for src in moves if src not in after}
+            | {dst for dst in targets if dst not in cells}
+        )
+        self.last_changed = changed
+        if self._rows is not None:
+            for c in changed:
+                if c in after:
+                    self._index_add(c)
+                else:
+                    self._index_remove(c)
+        self.version += 1
         return before - len(after)
+
+    def move_robot(self, src: Cell, dst: Cell) -> bool:
+        """Move a single robot (sequential/ASYNC semantics); True on merge.
+
+        ``src`` must be occupied; ``dst`` may equal ``src`` (no-op) and,
+        unlike ``apply_moves``, range checking is the caller's job.  Keeps
+        the row/column indices and dirty tracking coherent — sequential
+        engines must use this instead of mutating ``cells`` directly.
+        """
+        if dst == src:
+            return False
+        cells = self._cells
+        cells.discard(src)
+        merged = dst in cells
+        if not merged:
+            cells.add(dst)
+        if self._rows is not None:
+            self._index_remove(src)
+            if not merged:
+                self._index_add(dst)
+        self.last_changed = (
+            frozenset((src,)) if merged else frozenset((src, dst))
+        )
+        self.version += 1
+        return merged

@@ -12,7 +12,7 @@ n = 1..8.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, List, Set, Tuple
+from typing import FrozenSet, Iterator, Set
 
 from repro.grid.geometry import Cell, neighbors4
 

@@ -17,7 +17,7 @@ The families cover the regimes the algorithm exercises:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.grid.connectivity import is_connected
 from repro.grid.geometry import Cell
@@ -312,9 +312,23 @@ FAMILIES: Dict[str, Callable[[int], List[Cell]]] = {
     "spiral": _family_spiral,
 }
 
+#: Families with a random component, exposed for per-task seeding by the
+#: parallel sweep runner (default family seeds derive from ``n``).
+STOCHASTIC_FAMILIES: Dict[str, Callable[[int, int], List[Cell]]] = {
+    "blob": random_blob,
+    "tree": random_tree,
+}
 
-def family(name: str, n: int) -> List[Cell]:
-    """A swarm of (approximately) ``n`` robots from the named family."""
+
+def family(name: str, n: int, seed: Optional[int] = None) -> List[Cell]:
+    """A swarm of (approximately) ``n`` robots from the named family.
+
+    ``seed`` overrides the derived seed of stochastic families (blob,
+    tree) so sweeps can average over independent instances; deterministic
+    families ignore it.
+    """
+    if seed is not None and name in STOCHASTIC_FAMILIES:
+        return STOCHASTIC_FAMILIES[name](n, seed)
     try:
         return FAMILIES[name](n)
     except KeyError:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.grid.geometry import Cell, bounding_box
 from repro.grid.occupancy import SwarmState

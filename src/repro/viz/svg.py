@@ -8,7 +8,7 @@ charts for scaling curves.
 from __future__ import annotations
 
 import html
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 from repro.grid.geometry import Cell, bounding_box
 from repro.grid.occupancy import SwarmState

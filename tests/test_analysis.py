@@ -78,6 +78,53 @@ class TestExperimentHelpers:
         assert out[False] == -1  # runs disabled: mergeless ring stalls
 
 
+class TestParallelSweeps:
+    """The ProcessPoolExecutor sweep runner: deterministic ordering and
+    bit-identical results to the serial path."""
+
+    def test_parallel_matches_serial(self):
+        serial = run_scaling("line", [16, 24, 32], check_connectivity=False)
+        parallel = run_scaling(
+            "line", [16, 24, 32], check_connectivity=False, workers=2
+        )
+        assert parallel == serial  # order and values
+
+    def test_workers_zero_uses_cpu_count(self):
+        pts = run_scaling(
+            "solid", [16, 25], check_connectivity=False, workers=0
+        )
+        assert [p.gathered for p in pts] == [True, True]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_scaling("line", [8], workers=-1)
+
+    def test_per_task_seeds_vary_stochastic_families(self):
+        a = run_scaling("blob", [40], seeds=[1], check_connectivity=False)
+        b = run_scaling("blob", [40], seeds=[2], check_connectivity=False)
+        c = run_scaling("blob", [40], seeds=[1], check_connectivity=False)
+        assert a == c  # same seed -> same instance -> same result
+        assert (a[0].rounds, a[0].diameter) != (b[0].rounds, b[0].diameter) \
+            or a[0].merges != b[0].merges
+
+    def test_run_ablation_parallel_matches_serial(self):
+        from repro.analysis.experiments import run_ablation
+
+        serial = run_ablation(
+            "enable_runs", [True, False], "ring", 40, max_rounds=400
+        )
+        parallel = run_ablation(
+            "enable_runs",
+            [True, False],
+            "ring",
+            40,
+            max_rounds=400,
+            workers=2,
+        )
+        assert serial == parallel
+        assert serial[True] > 0 and serial[False] == -1
+
+
 class TestTables:
     def test_alignment(self):
         txt = format_table(["a", "bb"], [[1, 2.5], [30, 4]])

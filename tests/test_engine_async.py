@@ -58,6 +58,44 @@ class TestAsyncEngine:
         assert r1.rounds == r2.rounds
         assert r1.activations == r2.activations
 
+    def test_seed_determinism_full_results(self):
+        # two runs with the same seed are identical in every observable:
+        # final cells, per-round metric series, diameters — not just counts
+        def run():
+            eng = AsyncEngine(
+                SwarmState([(i, 0) for i in range(14)]),
+                LeafMerger(),
+                seed=123,
+            )
+            result = eng.run()
+            series = [
+                (m.round_index, m.robots, m.merged, m.diameter)
+                for m in result.metrics
+            ]
+            return result, series, eng.state.frozen()
+
+        r1, s1, f1 = run()
+        r2, s2, f2 = run()
+        assert (r1.rounds, r1.activations, r1.robots_final) == (
+            r2.rounds,
+            r2.activations,
+            r2.robots_final,
+        )
+        assert s1 == s2
+        assert f1 == f2
+
+    def test_move_robot_keeps_geometry_queries_exact(self):
+        # the engine mutates state via move_robot; bounding-box queries
+        # (used by the per-round metrics) must stay exact throughout
+        eng = AsyncEngine(
+            SwarmState([(i, 0) for i in range(8)]), LeafMerger(), seed=1
+        )
+        while not eng.state.is_gathered():
+            eng.step_round()
+            from repro.grid.geometry import bounding_box
+
+            assert eng.state.bounding_box() == bounding_box(eng.state.cells)
+
     def test_illegal_move_rejected(self):
         class Jumper:
             def activate(self, state, robot):

@@ -37,6 +37,70 @@ class TestEventLog:
         assert e.data["removed"] == 1
 
 
+class TestSharedEngineLog:
+    """The engine adopts the controller's EventLog (one round-ordered
+    stream) and emits terminal events into it."""
+
+    def _gather(self, cells, **kwargs):
+        from repro.core.algorithm import gather
+
+        return gather(cells, **kwargs)
+
+    def test_result_events_is_controller_log(self):
+        from repro.core.algorithm import GatherOnGrid
+        from repro.engine.scheduler import FsyncEngine
+        from repro.swarms.generators import ring
+
+        ctrl = GatherOnGrid()
+        engine = FsyncEngine(SwarmState(ring(10)), ctrl)
+        result = engine.run()
+        assert result.events is ctrl.events  # one shared log
+
+    def test_gather_emits_terminal_gathered(self):
+        from repro.swarms.generators import ring
+
+        result = self._gather(ring(10))
+        terminal = result.events.of_kind("gathered")
+        assert len(terminal) == 1
+        assert terminal[0].round_index == result.rounds
+        assert terminal[0].data["robots"] == result.robots_final
+
+    def test_budget_exhaustion_event(self):
+        from repro.swarms.generators import ring
+
+        result = self._gather(ring(20), max_rounds=2)
+        assert not result.gathered
+        assert len(result.events.of_kind("budget_exhausted")) == 1
+        assert not result.events.of_kind("gathered")
+
+    def test_events_round_ordered(self):
+        from repro.swarms.generators import ring
+
+        result = self._gather(ring(12))
+        rounds = [e.round_index for e in result.events]
+        assert rounds == sorted(rounds)
+        # controller events (run_start/fold/merge/run_stop) and the
+        # engine's terminal event share the log
+        kinds = set(result.events.counts())
+        assert "fold" in kinds and "gathered" in kinds
+
+    def test_controller_without_log_gets_fresh_one(self):
+        from repro.engine.events import EventLog
+        from repro.engine.scheduler import FsyncEngine
+
+        class Still:
+            def plan_round(self, state, round_index):
+                return {}
+
+            def notify_applied(self, state, round_index, moves, merged):
+                pass
+
+        engine = FsyncEngine(SwarmState([(0, 0), (3, 0), (1, 0), (2, 0)]), Still())
+        assert isinstance(engine.events, EventLog)
+        result = engine.run(max_rounds=1)
+        assert result.events.counts() == {"budget_exhausted": 1}
+
+
 class TestMetricsLog:
     def _make(self):
         log = MetricsLog()
@@ -81,3 +145,30 @@ class TestTermination:
         # Theorem 1's constant (2nL + n with L=22 is 45n) fits in the budget
         n = 100
         assert default_round_budget(n) > 45 * n
+
+
+class TestTerminalEventDedup:
+    def test_rerun_without_progress_does_not_duplicate(self):
+        from repro.core.algorithm import GatherOnGrid
+        from repro.engine.scheduler import FsyncEngine
+        from repro.swarms.generators import ring
+
+        eng = FsyncEngine(SwarmState(ring(10)), GatherOnGrid())
+        r1 = eng.run()
+        assert r1.gathered
+        r2 = eng.run()  # already gathered: no steps, no new terminal
+        assert len(r2.events.of_kind("gathered")) == 1
+
+    def test_resumed_run_logs_both_outcomes(self):
+        from repro.core.algorithm import GatherOnGrid
+        from repro.engine.scheduler import FsyncEngine
+        from repro.swarms.generators import ring
+
+        eng = FsyncEngine(SwarmState(ring(14)), GatherOnGrid())
+        r1 = eng.run(max_rounds=2)
+        assert not r1.gathered
+        r2 = eng.run()  # resume with the default budget
+        assert r2.gathered
+        # chronological journal: the interim budget stop, then the finish
+        assert len(r2.events.of_kind("budget_exhausted")) == 1
+        assert len(r2.events.of_kind("gathered")) == 1

@@ -124,3 +124,82 @@ class TestApplyMoves:
         s = SwarmState([(0, 0)])
         assert s.apply_moves({}) == 0
         assert s.cells == {(0, 0)}
+
+    def test_mover_lands_on_cell_vacated_this_round(self):
+        # (2,0) steps onto (1,0) in the same round (1,0) vacates: both
+        # survive — FSYNC applies all moves simultaneously.
+        s = SwarmState([(0, 0), (1, 0), (2, 0)])
+        merged = s.apply_moves({(1, 0): (0, 0), (2, 0): (1, 0)})
+        assert merged == 1  # only (1,0) -> (0,0) merged
+        assert s.cells == {(0, 0), (1, 0)}
+        assert s.last_changed == {(2, 0)}
+
+    def test_chained_vacate_and_fill(self):
+        # a whole column shifts down one cell: net change is only the ends
+        s = SwarmState([(0, y) for y in range(4)])
+        merged = s.apply_moves({(0, y): (0, y - 1) for y in range(1, 4)})
+        assert merged == 1  # (0,1) merged onto the stationary (0,0)
+        assert s.cells == {(0, 0), (0, 1), (0, 2)}
+        assert s.last_changed == {(0, 3)}
+
+
+class TestDirtyTracking:
+    def test_plain_move_changed_cells(self):
+        s = SwarmState([(0, 0), (1, 0)])
+        s.apply_moves({(0, 0): (0, 1)})
+        assert s.last_changed == {(0, 0), (0, 1)}
+        assert s.version == 1
+
+    def test_swap_changes_nothing(self):
+        s = SwarmState([(0, 0), (1, 0)])
+        s.apply_moves({(0, 0): (1, 0), (1, 0): (0, 0)})
+        assert s.last_changed == frozenset()
+        assert s.version == 1
+
+    def test_merge_changed_is_source_only(self):
+        s = SwarmState([(0, 0), (1, 0)])
+        s.apply_moves({(0, 0): (1, 0)})
+        assert s.last_changed == {(0, 0)}
+
+    def test_empty_moves_still_bump_version(self):
+        s = SwarmState([(0, 0)])
+        s.apply_moves({})
+        assert s.version == 1 and s.last_changed == frozenset()
+
+
+class TestValidatedFastPath:
+    def test_from_validated_adopts_set(self):
+        cells = {(0, 0), (1, 0)}
+        s = SwarmState.from_validated(cells)
+        assert len(s) == 2 and (1, 0) in s
+
+    def test_copy_skips_validation_but_is_equal(self):
+        s = SwarmState([(0, 0), (2, 1)])
+        c = s.copy()
+        assert c == s
+        c.apply_moves({(0, 0): (1, 1)})
+        assert (0, 0) in s  # independent
+
+
+class TestRowColIndices:
+    def test_indices_track_moves(self):
+        s = SwarmState([(0, 0), (1, 0), (2, 0)])
+        assert s.rows() == {0: [0, 1, 2]}
+        s.apply_moves({(2, 0): (2, 1)})
+        assert s.rows() == {0: [0, 1], 1: [2]}
+        assert s.cols() == {0: [0], 1: [0], 2: [1]}
+
+    def test_bounding_box_tracks_moves(self):
+        s = SwarmState([(0, 0), (1, 0), (2, 0)])
+        assert s.bounding_box() == (0, 0, 2, 0)
+        s.apply_moves({(2, 0): (1, 1)})
+        assert s.bounding_box() == (0, 0, 1, 1)
+        s.apply_moves({(1, 1): (1, 0)})
+        assert s.bounding_box() == (0, 0, 1, 0)
+
+    def test_move_robot_keeps_indices(self):
+        s = SwarmState([(0, 0), (1, 0)])
+        s.rows()  # build indices
+        assert s.move_robot((1, 0), (0, 0)) is True  # merge
+        assert s.rows() == {0: [0]}
+        assert s.bounding_box() == (0, 0, 0, 0)

@@ -31,16 +31,32 @@ class TestStartRuns:
         assert mgr.active_run_count >= 2
 
     def test_crowding_blocks_near_sites(self):
-        # on a small ring the corner-to-corner distance is below the
-        # viewing radius, so only one outer corner's sites fire (inner
-        # boundary sites are separate contours and may still start)
+        # ring(12)'s outer contour (44 robots) is long enough for the
+        # spacing filter; adjacent corners are 11 apart (below the viewing
+        # radius) and opposite corners 22 apart (above it), so exactly the
+        # two alternating corners fire (inner boundary sites are separate
+        # contours and may still start)
+        _, _, mgr = manager_with_starts(ring(12))
+        outer_corners = {
+            r.robot
+            for r in mgr.runs.values()
+            if r.robot in {(0, 0), (11, 0), (0, 11), (11, 11)}
+        }
+        assert len(outer_corners) == 2
+
+    def test_short_contour_starts_unconditionally(self):
+        # ring(8)'s outer contour (28 robots) fits inside two viewing
+        # radii: every site sees every other, so the spacing filter would
+        # starve the contour down to one run per batch — a livelock on
+        # mergeless shapes.  Short contours admit all sites, as the paper
+        # does.
         _, _, mgr = manager_with_starts(ring(8))
         outer_corners = {
             r.robot
             for r in mgr.runs.values()
             if r.robot in {(0, 0), (7, 0), (0, 7), (7, 7)}
         }
-        assert len(outer_corners) == 1
+        assert len(outer_corners) == 4
 
     def test_start_b_two_runs_same_robot(self):
         _, _, mgr = manager_with_starts(ring(12))
@@ -219,3 +235,42 @@ class TestFoldGuards:
         mgr = RunManager(CFG)
         occ = {(0, 0), (1, 0), (0, 1)}
         assert mgr._fold_target(occ, (0, 0), {}, {(5, 5)}) == (1, 1)
+
+
+class TestEndpointAheadDegenerate:
+    """Regression: `_endpoint_ahead` on tiny contours.
+
+    ``horizon = min(run_passing_distance + 1, n - 2)`` goes non-positive
+    for 2-robot cycles; the guard must return False instead of probing a
+    degenerate wrap-around window.
+    """
+
+    def _run(self, robots):
+        from repro.core.runs import Run
+
+        return Run(0, robots[0], robots[-1], 1, "h", -5)
+
+    def test_two_robot_cycle(self):
+        mgr = RunManager(CFG)
+        robots = ((0, 0), (1, 0))
+        assert mgr._endpoint_ahead(robots, 0, self._run(robots)) is False
+
+    def test_single_robot_cycle(self):
+        mgr = RunManager(CFG)
+        robots = ((0, 0),)
+        assert mgr._endpoint_ahead(robots, 0, self._run(robots)) is False
+
+    def test_three_robot_cycle_detects_endpoint(self):
+        # horizon clamps to 1; a perpendicular 3-robot segment right ahead
+        # must still be seen
+        mgr = RunManager(CFG)
+        robots = ((0, 0), (0, 1), (0, 2))  # vertical segment, axis "h"
+        run = self._run(robots)
+        assert mgr._endpoint_ahead(robots, 0, run) is True
+
+    def test_degenerate_boundary_simulation(self):
+        # a 2x3 block gathers without tripping the degenerate horizon
+        from repro.core.algorithm import gather
+
+        r = gather([(x, y) for x in range(3) for y in range(2)])
+        assert r.gathered
