@@ -3,9 +3,19 @@
 Engineering benchmarks (not paper claims): boundary extraction, merge
 pattern matching, one full engine round, and connectivity checking — the
 four operations that dominate a simulation's profile.
+
+``test_ring_resplice_speedup`` additionally writes ``BENCH_ring.json``
+at the repo root: the steady-state per-round cost of the linked-ring
+incremental pipeline vs full rescans on contour-dominated (ring) and
+blob instances, so the performance trajectory stays machine-readable
+across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 import pytest
 
@@ -19,6 +29,11 @@ from repro.grid.occupancy import SwarmState
 from repro.swarms.generators import random_blob, ring, solid_rectangle
 
 CFG = AlgorithmConfig()
+
+BENCH_RING_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_ring.json",
+)
 
 
 @pytest.mark.parametrize(
@@ -85,6 +100,78 @@ def test_steady_state_round(benchmark, incremental):
     benchmark.pedantic(
         lambda engine: engine.step(), setup=setup, rounds=10, iterations=1
     )
+
+
+@pytest.mark.parametrize("incremental", [False, True], ids=["full", "inc"])
+def test_steady_state_round_ring(benchmark, incremental):
+    """Steady-state round on a contour-dominated instance (ring n=508).
+
+    The contour work per round is the boundary maintenance plus the run
+    machinery; this is the instance family the linked-ring splice was
+    built for (blobs go quiescent quickly, rings fold for hundreds of
+    rounds)."""
+    cells = ring(128)  # 508 robots
+    cfg = AlgorithmConfig(incremental=incremental)
+
+    def setup():
+        engine = FsyncEngine(
+            SwarmState(cells), GatherOnGrid(cfg), check_connectivity=False
+        )
+        for _ in range(10):
+            engine.step()  # reach the folding steady state
+        return (engine,), {}
+
+    benchmark.pedantic(
+        lambda engine: engine.step(), setup=setup, rounds=10, iterations=1
+    )
+
+
+def _steady_state_ms(cells, incremental, *, warm, rounds):
+    engine = FsyncEngine(
+        SwarmState(cells),
+        GatherOnGrid(AlgorithmConfig(incremental=incremental)),
+        check_connectivity=False,
+    )
+    for _ in range(warm):
+        engine.step()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        engine.step()
+    return (time.perf_counter() - t0) / rounds * 1000
+
+
+def test_ring_resplice_speedup(benchmark):
+    """Record the incremental-vs-full steady-state round costs in
+    ``BENCH_ring.json`` (the cross-PR perf trajectory artifact) and keep
+    a regression floor on the ring-family speedup."""
+    report = {"instances": {}}
+    for name, cells, warm, rounds in (
+        ("ring_252", ring(64), 10, 100),
+        ("ring_508", ring(128), 10, 100),
+        ("ring_764", ring(192), 10, 100),
+        ("blob_1500", random_blob(1500, 2), 1, 10),
+    ):
+        full = _steady_state_ms(cells, False, warm=warm, rounds=rounds)
+        inc = _steady_state_ms(cells, True, warm=warm, rounds=rounds)
+        report["instances"][name] = {
+            "n": len(cells),
+            "full_ms_per_round": round(full, 4),
+            "incremental_ms_per_round": round(inc, 4),
+            "speedup": round(full / inc, 2),
+        }
+    with open(BENCH_RING_PATH, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    benchmark.extra_info["bench_ring"] = report
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ring_speedups = [
+        v["speedup"]
+        for k, v in report["instances"].items()
+        if k.startswith("ring_") and v["n"] >= 508
+    ]
+    # regression floor (the recorded values are the real measurement;
+    # the floor is loose to survive noisy CI machines)
+    assert max(ring_speedups) >= 2.0, report
 
 
 def test_connectivity_check(benchmark):

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.grid.geometry import Cell, chebyshev
 
@@ -48,64 +48,109 @@ def _adjacent8(a: Cell, b: Cell) -> bool:
     return chebyshev(a, b) <= 1
 
 
-def _bounding_square(chain: Sequence[Cell]) -> int:
-    xs = [c[0] for c in chain]
-    ys = [c[1] for c in chain]
+def _bounding_square(chain: Iterable[Cell]) -> int:
+    xs = []
+    ys = []
+    for x, y in chain:
+        xs.append(x)
+        ys.append(y)
     return max(max(xs) - min(xs), max(ys) - min(ys))
+
+
+class _ChainNode:
+    """One chain robot as a node of a doubly-linked ring (the same
+    persistent linked-ring idiom as :mod:`repro.grid.ring`): a
+    contraction unlinks the node in O(1) instead of rebuilding the whole
+    chain list, and node identities are stable across rounds."""
+
+    __slots__ = ("cell", "prev", "next", "node_id")
+
+    def __init__(self, cell: Cell, node_id: int) -> None:
+        self.cell = cell
+        self.node_id = node_id
+        self.prev: "_ChainNode" = self
+        self.next: "_ChainNode" = self
 
 
 class ClosedChainGatherer:
     """FSYNC randomized gathering of a closed chain."""
 
     def __init__(self, chain: Sequence[Cell], *, seed: int = 0) -> None:
-        chain = list(chain)
-        if len(chain) < 3:
+        cells = list(chain)
+        if len(cells) < 3:
             raise ValueError("a closed chain needs at least 3 robots")
-        n = len(chain)
+        n = len(cells)
         for i in range(n):
-            if not _adjacent8(chain[i], chain[(i + 1) % n]):
+            if not _adjacent8(cells[i], cells[(i + 1) % n]):
                 raise ValueError(
                     f"chain links must be 8-adjacent; index {i} is not"
                 )
-        self.chain: List[Cell] = chain
+        nodes = [_ChainNode(c, i) for i, c in enumerate(cells)]
+        for i, node in enumerate(nodes):
+            nxt = nodes[(i + 1) % n]
+            node.next = nxt
+            nxt.prev = node
+        self._head = nodes[0]
+        self._size = n
         self.rng = random.Random(seed)
         self.round_index = 0
+
+    @property
+    def chain(self) -> List[Cell]:
+        """The chain as a cell list, head first (compatibility view)."""
+        out: List[Cell] = []
+        node = self._head
+        for _ in range(self._size):
+            out.append(node.cell)
+            node = node.next
+        return out
+
+    def _nodes(self) -> List[_ChainNode]:
+        out: List[_ChainNode] = []
+        node = self._head
+        for _ in range(self._size):
+            out.append(node)
+            node = node.next
+        return out
 
     def is_gathered(self) -> bool:
         return _bounding_square(self.chain) <= 1
 
     def step(self) -> None:
         """One FSYNC round: coin-selected robots contract or pull."""
-        chain = self.chain
-        n = len(chain)
+        nodes = self._nodes()
+        n = self._size
         coins = [self.rng.random() < 0.5 for _ in range(n)]
         # a robot acts iff it drew heads and both chain neighbors drew
         # tails — acting robots are pairwise non-adjacent along the chain,
-        # so their moves/splices are compatible
+        # so their moves/splices are compatible (and no acting robot's
+        # neighbor is ever unlinked, keeping neighbor reads stable)
         acting = [
             coins[i] and not coins[(i - 1) % n] and not coins[(i + 1) % n]
             for i in range(n)
         ]
-        # Phase 1: contractions (splices) — collect surviving indices.
-        keep: List[bool] = [True] * n
-        for i in range(n):
-            if not acting[i] or n - sum(not k for k in keep) <= 3:
+        # Phase 1: contractions — unlink the node (O(1) splice).
+        size = n
+        for i, node in enumerate(nodes):
+            if not acting[i] or size <= 3:
                 continue
-            prev_c = chain[(i - 1) % n]
-            next_c = chain[(i + 1) % n]
-            if _adjacent8(prev_c, next_c):
-                keep[i] = False
-        new_chain = [c for c, k in zip(chain, keep) if k]
-        new_acting = [a for a, k in zip(acting, keep) if k]
-        # Phase 2: pulls on surviving acting robots.
-        m = len(new_chain)
-        result = list(new_chain)
-        for i in range(m):
-            if not new_acting[i]:
-                continue
-            prev_c = new_chain[(i - 1) % m]
-            cur = new_chain[i]
-            next_c = new_chain[(i + 1) % m]
+            if _adjacent8(node.prev.cell, node.next.cell):
+                node.prev.next = node.next
+                node.next.prev = node.prev
+                if node is self._head:
+                    self._head = node.next
+                size -= 1
+        self._size = size
+        # Phase 2: pulls on surviving acting robots — collect all targets
+        # against the pre-pull cells, then apply (FSYNC simultaneity; the
+        # read neighbors are non-acting, hence stationary).
+        pulls: List[tuple[_ChainNode, Cell]] = []
+        for i, node in enumerate(nodes):
+            if not acting[i] or node.prev.next is not node:
+                continue  # contracted away above
+            prev_c = node.prev.cell
+            cur = node.cell
+            next_c = node.next.cell
             mid = ((prev_c[0] + next_c[0]) // 2, (prev_c[1] + next_c[1]) // 2)
             dx = (mid[0] > cur[0]) - (mid[0] < cur[0])
             dy = (mid[1] > cur[1]) - (mid[1] < cur[1])
@@ -115,8 +160,9 @@ class ClosedChainGatherer:
                 and _adjacent8(cand, prev_c)
                 and _adjacent8(cand, next_c)
             ):
-                result[i] = cand
-        self.chain = result
+                pulls.append((node, cand))
+        for node, cand in pulls:
+            node.cell = cand
         self.round_index += 1
 
     def run(self, max_rounds: Optional[int] = None) -> ClosedChainResult:

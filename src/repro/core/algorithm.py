@@ -25,9 +25,9 @@ from repro.core.quasiline import run_start_sites
 from repro.core.runs import RunManager
 from repro.engine.events import EventLog
 from repro.engine.scheduler import FsyncEngine, GatherResult
-from repro.grid.boundary import extract_boundaries
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
+from repro.grid.ring import RingSet
 
 
 class GatherOnGrid:
@@ -58,6 +58,19 @@ class GatherOnGrid:
         # Step 1: merge operations (state-free).
         if pipeline is not None:
             merge_moves, patterns = pipeline.plan_merges(state)
+            # Audit trail of the incremental boundary maintenance: one
+            # event per round listing every spliced/re-traced arc as a
+            # ``(cycle_id, arc_sides, removed_sides)`` triple (cycle id
+            # -1 = full-rebuild fallback).  Diagnostic only — excluded
+            # from the trajectory digests, since full-rescan mode does
+            # no splicing.
+            resplices = pipeline.take_resplices()
+            if resplices:
+                self.events.emit(
+                    round_index,
+                    "boundary_respliced",
+                    arcs=[list(r) for r in resplices],
+                )
         else:
             merge_moves, patterns = plan_merges(state, cfg)
         self._last_patterns = tuple(p.kind for p in patterns)
@@ -65,12 +78,12 @@ class GatherOnGrid:
         if not cfg.enable_runs:
             return merge_moves
 
-        boundaries = (
-            pipeline.boundaries(state)
+        contours = (
+            pipeline.contours(state)
             if pipeline is not None
-            else extract_boundaries(state)
+            else RingSet.from_cells(occupied)
         )
-        located, lost = self.run_manager.locate(boundaries)
+        located, lost = self.run_manager.locate(contours)
 
         # Step 3 (checked before acting so fresh runs reshape this same
         # round, like the paper's start hop): start new runs every L rounds.
@@ -78,9 +91,9 @@ class GatherOnGrid:
             cfg.pipelining or round_index == 0
         )
         if starts_due:
-            sites = run_start_sites(boundaries, cfg.start_straight_steps)
+            sites = run_start_sites(contours.rings, cfg.start_straight_steps)
             started = self.run_manager.start_runs(
-                boundaries, sites, round_index, located
+                contours, sites, round_index, located
             )
             for run in started:
                 self.events.emit(
@@ -92,11 +105,11 @@ class GatherOnGrid:
                     axis=run.axis,
                 )
             if started:
-                located, lost = self.run_manager.locate(boundaries)
+                located, lost = self.run_manager.locate(contours)
 
         # Step 2: run operations.
         run_moves = self.run_manager.plan(
-            boundaries, occupied, merge_moves, located, lost, round_index
+            contours, occupied, merge_moves, located, lost, round_index
         )
         for robot, target in run_moves.items():
             self.events.emit(

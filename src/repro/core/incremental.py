@@ -17,6 +17,15 @@ rows/columns, only the three-line band around its line — so a cached value
 whose anchor is not dirty is still exact.  See ``docs/incremental.md`` for
 the invariant catalogue and the equality argument.
 
+**Boundaries are persistent linked rings.**  Contours live in a
+:class:`repro.grid.ring.RingSet`: each round, only the *dirty arcs* of
+affected rings are re-traced and spliced in place (O(dirty arc)), instead
+of rebuilding whole ``Boundary`` tuples per changed cycle (O(contour)).
+Ring consumers (run location, run planning, start sites) navigate stable
+:class:`~repro.grid.ring.RingNode` references; the frozen-tuple
+``Boundary`` remains available through ``to_boundary()`` for analysis and
+the equivalence suite.
+
 **Bit-identical by construction.**  The caches reproduce the exact
 candidate/boundary *sets* of the full rescans, and every consumer of those
 sets (conflict resolution, run location, move composition) is
@@ -39,9 +48,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import AlgorithmConfig
 from repro.core.patterns import MergeCache, MergePattern
-from repro.grid.boundary import Boundary, BoundaryCache
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
+from repro.grid.ring import RingSet
 
 
 class IncrementalPipeline:
@@ -50,12 +59,11 @@ class IncrementalPipeline:
     def __init__(self, cfg: AlgorithmConfig) -> None:
         self.cfg = cfg
         self.merge_cache = MergeCache(cfg)
-        self.boundary_cache = BoundaryCache()
+        self.ring_set = RingSet()
         # The state is held by reference (not id()): a freed state's id
         # could be reused by a new SwarmState and alias stale caches.
         self._state: Optional[SwarmState] = None
         self._version: Optional[int] = None
-        self._boundaries: List[Boundary] = []
 
     # ------------------------------------------------------------------
     def _sync(self, state: SwarmState) -> None:
@@ -75,12 +83,10 @@ class IncrementalPipeline:
         ):
             changed = state.last_changed
             self.merge_cache.update(state, changed)
-            self._boundaries = self.boundary_cache.update(
-                cells, changed, rows=state.rows()
-            )
+            self.ring_set.update(cells, changed, rows=state.rows())
         else:
             self.merge_cache.rebuild(state)
-            self._boundaries = self.boundary_cache.rebuild(cells)
+            self.ring_set.rebuild(cells)
         self._state = state
         self._version = state.version
 
@@ -92,8 +98,16 @@ class IncrementalPipeline:
         self._sync(state)
         return self.merge_cache.plan()
 
-    def boundaries(self, state: SwarmState) -> List[Boundary]:
-        """Drop-in replacement for
-        :func:`repro.grid.boundary.extract_boundaries`."""
+    def contours(self, state: SwarmState) -> RingSet:
+        """The maintained linked-ring contours of ``state`` (replaces the
+        per-round :func:`repro.grid.boundary.extract_boundaries` call)."""
         self._sync(state)
-        return self._boundaries
+        return self.ring_set
+
+    def take_resplices(self) -> List[Tuple[int, int, int]]:
+        """Drain the ``(ring_id, arc_sides, removed_sides)`` records of
+        the incremental boundary work since the last drain (for the
+        controller's ``boundary_respliced`` events)."""
+        out = self.ring_set.last_resplices
+        self.ring_set.last_resplices = []
+        return out

@@ -415,16 +415,17 @@ class MergeCache:
             # be snapshotted before any line's movers are swapped out.
             row_updates = []
             for y in dirty_rows:
-                old_m = {
-                    m
-                    for p in self._row_patterns.get(y, ())
-                    for m in p.movers
-                }
+                old = self._row_patterns.get(y)
+                if y not in rows and old is None:
+                    continue  # empty line stayed empty: no-op
                 ps = (
                     _row_bumps(y, rows[y], cells, max_len)
                     if y in rows
                     else None
                 )
+                if not ps and old is None:
+                    continue  # patternless line stayed patternless
+                old_m = {m for p in old for m in p.movers} if old else set()
                 new_m = (
                     {m for p in ps for m in p.movers} if ps else set()
                 )
@@ -432,16 +433,17 @@ class MergeCache:
                 touched |= old_m ^ new_m
             col_updates = []
             for x in dirty_cols:
-                old_m = {
-                    m
-                    for p in self._col_patterns.get(x, ())
-                    for m in p.movers
-                }
+                old = self._col_patterns.get(x)
+                if x not in cols and old is None:
+                    continue  # empty line stayed empty: no-op
                 ps = (
                     _col_bumps(x, cols[x], cells, max_len)
                     if x in cols
                     else None
                 )
+                if not ps and old is None:
+                    continue  # patternless line stayed patternless
+                old_m = {m for p in old for m in p.movers} if old else set()
                 new_m = (
                     {m for p in ps for m in p.movers} if ps else set()
                 )

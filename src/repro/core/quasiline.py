@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.grid.boundary import Boundary
-from repro.grid.geometry import Cell, perpendicular, sub
+from repro.grid.geometry import Cell, sub
+from repro.grid.ring import BoundaryRing
 
 # ----------------------------------------------------------------------
 # Definition 1 predicates (analysis/tests; the algorithm uses start sites)
@@ -130,10 +131,13 @@ def boundary_segments(boundary: Boundary) -> List[Tuple[str, int, int]]:
 class StartSite:
     """A boundary position at which a robot may start a run.
 
-    ``boundary_index`` indexes into ``extract_boundaries(state)``;
-    ``position`` indexes ``boundary.robots``; ``direction`` is the traversal
-    direction (+1 with the swarm on the left / -1 reversed) in which the
-    straight stretch extends.
+    ``boundary_index`` indexes the canonical contour list (tuple
+    boundaries or linked rings alike); ``position`` indexes the collapsed
+    robot cycle; ``direction`` is the traversal direction (+1 with the
+    swarm on the left / -1 reversed) in which the straight stretch
+    extends.  ``prev`` is the boundary robot behind the site against
+    ``direction`` — the context a fresh run remembers to re-identify its
+    position, precomputed here so consumers need not re-walk the contour.
     """
 
     boundary_index: int
@@ -141,29 +145,11 @@ class StartSite:
     robot: Cell
     direction: int
     stretch_dir: Cell  # the cardinal direction of the quasi line ahead
-
-
-def _straight_steps(
-    robots: Tuple[Cell, ...], i: int, direction: int, want: int
-) -> Optional[Cell]:
-    """If the ``want`` boundary steps from index ``i`` in ``direction`` all
-    follow one cardinal direction, return it; else None."""
-    n = len(robots)
-    if n < want + 1:
-        return None
-    first = sub(robots[(i + direction) % n], robots[i])
-    if abs(first[0]) + abs(first[1]) != 1:
-        return None  # diagonal (pinch) step: not a straight stretch
-    for k in range(1, want):
-        a = robots[(i + direction * k) % n]
-        b = robots[(i + direction * (k + 1)) % n]
-        if sub(b, a) != first:
-            return None
-    return first
+    prev: Optional[Cell] = None
 
 
 def run_start_sites(
-    boundaries: Sequence[Boundary], straight_steps: int = 2
+    boundaries: Sequence[Boundary | BoundaryRing], straight_steps: int = 2
 ) -> List[StartSite]:
     """All run start sites over all boundary cycles.
 
@@ -174,22 +160,61 @@ def run_start_sites(
     (the quasi-line-meets-stairway transition; stairway robots sit in
     concave notches, so the contour skips them diagonally).  A robot
     matching in both traversal directions is Start-B and yields two sites.
+
+    Accepts frozen :class:`Boundary` tuples and linked
+    :class:`~repro.grid.ring.BoundaryRing` contours alike; rings
+    materialize their collapsed robot cycle once per call (start rounds
+    only, every ``run_start_interval`` rounds), and the scan is shared so
+    both representations yield byte-identical site lists.
     """
     sites: List[StartSite] = []
     for b_idx, boundary in enumerate(boundaries):
-        robots = boundary.robots
+        robots = (
+            boundary.robots_cycle()
+            if isinstance(boundary, BoundaryRing)
+            else boundary.robots
+        )
         n = len(robots)
         if n < straight_steps + 2:
             continue
+        # Precompute the forward step vectors once: the straightness
+        # probes below reduce to array comparisons instead of repeated
+        # per-(site, direction, step) cell subtractions — this scan walks
+        # every boundary robot each start round and showed up in
+        # profiles.
+        diffs: List[Cell] = []
+        px, py = robots[0]
+        for j in range(1, n + 1):
+            cx, cy = robots[j % n]
+            diffs.append((cx - px, cy - py))
+            px, py = cx, cy
         for i in range(n):
             for direction in (1, -1):
-                ahead = _straight_steps(robots, i, direction, straight_steps)
-                if ahead is None:
-                    continue
-                behind = sub(robots[(i - direction) % n], robots[i])
-                if behind == ahead:
+                if direction == 1:
+                    first = diffs[i]
+                    if abs(first[0]) + abs(first[1]) != 1:
+                        continue
+                    if any(
+                        diffs[(i + k) % n] != first
+                        for k in range(1, straight_steps)
+                    ):
+                        continue
+                    bx, by = diffs[i - 1]
+                    behind = (-bx, -by)
+                else:
+                    fx, fy = diffs[i - 1]
+                    first = (-fx, -fy)
+                    if abs(fx) + abs(fy) != 1:
+                        continue
+                    if any(
+                        diffs[(i - k - 1) % n] != (fx, fy)
+                        for k in range(1, straight_steps)
+                    ):
+                        continue
+                    behind = diffs[i]
+                if behind == first:
                     continue  # mid-stretch, not an endpoint
-                if behind == (-ahead[0], -ahead[1]):
+                if behind == (-first[0], -first[1]):
                     continue  # 1-thick line endpoint: leaf merges handle it
                 sites.append(
                     StartSite(
@@ -197,7 +222,8 @@ def run_start_sites(
                         position=i,
                         robot=robots[i],
                         direction=direction,
-                        stretch_dir=ahead,
+                        stretch_dir=first,
+                        prev=robots[(i - direction) % n],
                     )
                 )
     return sites

@@ -26,20 +26,35 @@ the run passing distance suspend folds and slide past one another.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.config import AlgorithmConfig
 from repro.core.quasiline import StartSite
-from repro.grid.boundary import Boundary
-from repro.grid.geometry import (
-    Cell,
-    add,
-    l1_distance,
-    neighbors4,
-    perpendicular,
-    sub,
-)
+from repro.grid.geometry import Cell, l1_distance
+from repro.grid.ring import BoundaryRing, RingNode, RingSet
+
+
+class RunLocation(NamedTuple):
+    """Where a run sits this round: its contour (canonical list index +
+    ring object) and the occurrence-head node of its robot on that ring.
+
+    Node references are stable for the round (and across rounds while the
+    side survives), replacing integer indices into rebuilt robot tuples.
+    """
+
+    b_idx: int
+    ring: BoundaryRing
+    node: RingNode
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,28 @@ class _Planned:
     next_robot: Optional[Cell] = None  # pre-move cell of the next holder
 
 
+def _endpoint_in_window(window: Sequence[Cell], horizontal: bool) -> bool:
+    """Termination rule 2 over a window of consecutive boundary robot
+    cells ahead of the runner (window[0] is the runner's cell): True iff
+    a perpendicular aligned segment of >= 3 robots appears."""
+    perp_streak = 0
+    a = window[0]
+    for b in window[1:]:
+        sx, sy = b[0] - a[0], b[1] - a[1]
+        a = b
+        if abs(sx) + abs(sy) != 1:
+            perp_streak = 0  # diagonal (pinch) step: no information
+            continue
+        perp = (sx == 0) if horizontal else (sy == 0)
+        if perp:
+            perp_streak += 1
+            if perp_streak >= 2:  # two steps = three aligned robots
+                return True
+        else:
+            perp_streak = 0
+    return False
+
+
 class RunManager:
     """Owns all live runs; plans and finalizes their per-round behavior."""
 
@@ -93,10 +130,10 @@ class RunManager:
     # ------------------------------------------------------------------
     def start_runs(
         self,
-        boundaries: Sequence[Boundary],
+        contours: RingSet,
         sites: Sequence[StartSite],
         round_index: int,
-        located: Mapping[int, Tuple[int, int]],
+        located: Mapping[int, RunLocation],
     ) -> List[Run]:
         """Create runs at start sites that are not crowded by live runs.
 
@@ -121,9 +158,27 @@ class RunManager:
         other until merges fire — and termination rule 1 cleans up the
         surplus, exactly as the paper intends.
         """
+        rings = contours.rings
+        located_nodes: Dict[int, List[RingNode]] = {}
+        for rid, loc in located.items():
+            located_nodes.setdefault(loc.b_idx, []).append(loc.node)
+        # Canonical cycle positions of the located runs, per contour;
+        # resolved lazily via one ring walk because this runs only every
+        # ``run_start_interval`` rounds and only for contours whose sites
+        # pass through the spacing filter.
         occupied_positions: Dict[int, List[int]] = {}
-        for rid, (b_idx, pos) in located.items():
-            occupied_positions.setdefault(b_idx, []).append(pos)
+
+        def positions_for(b_idx: int) -> List[int]:
+            lst = occupied_positions.get(b_idx)
+            if lst is None:
+                nodes = located_nodes.get(b_idx, ())
+                if nodes:
+                    pm = rings[b_idx].positions_map()
+                    lst = [pm[nd] for nd in nodes]
+                else:
+                    lst = []
+                occupied_positions[b_idx] = lst
+            return lst
 
         existing_keys = {
             (r.robot, r.direction) for r in self.runs.values()
@@ -139,11 +194,10 @@ class RunManager:
         ):
             if (site.robot, site.direction) in existing_keys:
                 continue
-            boundary = boundaries[site.boundary_index]
-            n = len(boundary.robots)
+            n = len(rings[site.boundary_index])
             too_close = False
             if n > short:
-                for pos in occupied_positions.get(site.boundary_index, ()):
+                for pos in positions_for(site.boundary_index):
                     dist = min(
                         (pos - site.position) % n, (site.position - pos) % n
                     )
@@ -160,7 +214,8 @@ class RunManager:
                         break
             if too_close:
                 continue
-            prev = boundary.robots[(site.position - site.direction) % n]
+            prev = site.prev
+            assert prev is not None  # always filled by run_start_sites
             axis = "h" if site.stretch_dir[1] == 0 else "v"
             run = Run(
                 run_id=self._next_id,
@@ -174,9 +229,10 @@ class RunManager:
             self.runs[run.run_id] = run
             existing_keys.add((run.robot, run.direction))
             runner_cells.add(run.robot)
-            occupied_positions.setdefault(site.boundary_index, []).append(
-                site.position
-            )
+            if n > short:
+                # feed the spacing filter of later sites on this contour
+                # (short contours never read the list — skip the walk)
+                positions_for(site.boundary_index).append(site.position)
             started.append(run)
         return started
 
@@ -184,19 +240,27 @@ class RunManager:
     # Locating runs on the current boundaries
     # ------------------------------------------------------------------
     def locate(
-        self, boundaries: Sequence[Boundary]
-    ) -> Tuple[Dict[int, Tuple[int, int]], List[int]]:
-        """Match each run to a ``(boundary_index, position)``.
+        self, contours: RingSet
+    ) -> Tuple[Dict[int, RunLocation], List[int]]:
+        """Match each run to a :class:`RunLocation` (contour + node).
 
         A run is matched where its robot appears with its remembered
         predecessor behind it; unmatched runs are returned as lost (the
         subboundary changed shape under them — Table 1 conditions 4/5).
 
-        Uses each boundary's cached ``position_index`` (built once per
-        Boundary object), so contours the incremental pipeline kept across
-        rounds cost nothing to re-index.
+        Candidate occurrences come straight from the ring set's side-node
+        index (O(1) per run), so contours the incremental pipeline kept or
+        spliced across rounds cost nothing to re-index.  The winner is the
+        minimum over ``(score, contour index, cycle position)`` — exactly
+        the old first-match semantics over canonically ordered boundary
+        tuples; the cycle position is only computed (one ring walk) in the
+        rare case of a same-score tie between two occurrences of the
+        robot on one contour (1-thick spurs, where a robot's occurrences
+        are *not* contiguous on the cycle).
         """
-        located: Dict[int, Tuple[int, int]] = {}
+        rings = contours.rings
+        ring_index = {id(r): i for i, r in enumerate(rings)}
+        located: Dict[int, RunLocation] = {}
         lost: List[int] = []
         for rid in sorted(self.runs):
             run = self.runs[rid]
@@ -205,28 +269,53 @@ class RunManager:
             # whose free sides face the inner boundary), so fall back to
             # "predecessor within L1 distance 2" before declaring the run
             # lost (Table 1 conditions 4/5).
-            best: Optional[Tuple[int, Tuple[int, int]]] = None
-            for b_idx, b in enumerate(boundaries):
-                robots = b.robots
-                n = len(robots)
-                if n < 2:
+            cands: List[Tuple[int, int, BoundaryRing, RingNode]] = []
+            seen: Set[int] = set()
+            robot = run.robot
+            prev_cell = run.prev
+            direction = run.direction
+            for node in contours.nodes_at(robot):
+                ring = node.ring
+                assert ring is not None
+                if len(ring) < 2:
+                    continue  # degenerate cycle (fewer than 2 robots)
+                # occurrence head + the robot behind, inlined (hot loop)
+                cell = node.cell
+                head = node
+                while head.prev.cell == cell:
+                    head = head.prev
+                if id(head) in seen:
                     continue
-                for pos in b.position_index.get(run.robot, ()):
-                    behind = robots[(pos - run.direction) % n]
-                    if behind == run.prev:
-                        score = 0
-                    elif l1_distance(behind, run.prev) <= 2:
-                        score = 1
-                    else:
-                        continue
-                    if best is None or score < best[0]:
-                        best = (score, (b_idx, pos))
-                if best is not None and best[0] == 0:
-                    break
-            if best is None:
+                seen.add(id(head))
+                if direction == 1:
+                    # previous occurrence's cell: any node of it will do
+                    behind = head.prev.cell
+                else:
+                    bnode = head.next
+                    while bnode.cell == cell:
+                        bnode = bnode.next
+                    behind = bnode.cell
+                if behind == prev_cell:
+                    score = 0
+                elif (
+                    abs(behind[0] - prev_cell[0])
+                    + abs(behind[1] - prev_cell[1])
+                    <= 2
+                ):
+                    score = 1
+                else:
+                    continue
+                cands.append((score, ring_index[id(ring)], ring, head))
+            if not cands:
                 lost.append(rid)
-            else:
-                located[rid] = best[1]
+                continue
+            best_key = min((c[0], c[1]) for c in cands)
+            ties = [c for c in cands if (c[0], c[1]) == best_key]
+            if len(ties) > 1:
+                pm = ties[0][2].positions_map()
+                ties.sort(key=lambda c: pm[c[3]])
+            score, b_idx, ring, head = ties[0]
+            located[rid] = RunLocation(b_idx, ring, head)
         return located, lost
 
     # ------------------------------------------------------------------
@@ -234,10 +323,10 @@ class RunManager:
     # ------------------------------------------------------------------
     def plan(
         self,
-        boundaries: Sequence[Boundary],
+        contours: RingSet,
         occupied: Set[Cell],
         merge_moves: Mapping[Cell, Cell],
-        located: Mapping[int, Tuple[int, int]],
+        located: Mapping[int, RunLocation],
         lost: Sequence[int],
         round_index: int = -1,
     ) -> Dict[Cell, Cell]:
@@ -246,12 +335,14 @@ class RunManager:
         self._planned = []
         run_moves: Dict[Cell, Cell] = {}
 
-        # positions of all located runs, for rules 1 and passing
-        at_position: Dict[Tuple[int, int], List[int]] = {}
+        # occurrence nodes of all located runs, for rules 1 and passing
+        at_node: Dict[int, List[int]] = {}  # id(node) -> run ids
         runs_per_boundary: Dict[int, int] = {}
-        for rid, bp in located.items():
-            at_position.setdefault(bp, []).append(rid)
-            runs_per_boundary[bp[0]] = runs_per_boundary.get(bp[0], 0) + 1
+        for rid, loc in located.items():
+            at_node.setdefault(id(loc.node), []).append(rid)
+            runs_per_boundary[loc.b_idx] = (
+                runs_per_boundary.get(loc.b_idx, 0) + 1
+            )
         runner_cells = self.runner_cells()
 
         for rid in sorted(self.runs):
@@ -259,10 +350,8 @@ class RunManager:
             if rid in lost:
                 self._planned.append(_Planned(run, terminate="run_lost"))
                 continue
-            b_idx, pos = located[rid]
-            boundary = boundaries[b_idx]
-            robots = boundary.robots
-            n = len(robots)
+            b_idx, ring, node = located[rid]
+            n = len(ring)
 
             # Rule 3 / 6: the runner takes part in a merge this round.
             if run.robot in merge_moves:
@@ -274,6 +363,18 @@ class RunManager:
             # state on) before any visibility-based stop rule applies.
             fresh = run.born_round == round_index
 
+            # Occurrence heads ahead of the runner, fetched in one batched
+            # ring walk shared by rule 1, rule 2, and the handover target.
+            probing = (
+                not fresh and runs_per_boundary.get(b_idx, 0) > 1
+            )
+            probe_len = min(cfg.viewing_radius, n - 1) if probing else 0
+            horizon = (
+                min(cfg.run_passing_distance + 1, n - 2) if not fresh else 0
+            )
+            needed = max(1, probe_len, horizon + 1 if horizon >= 1 else 0)
+            heads = ring.walk_heads(node, run.direction, needed)
+
             # Rule 1: sequent run visible ahead -> the run *behind* stops
             # (paper Table 1.1).  On a closed contour "behind" means the
             # gap ahead of us is the smaller arc; two runs chasing each
@@ -283,21 +384,19 @@ class RunManager:
             stop = False
             # Probing is only meaningful when another run shares this
             # contour — the common single-run case skips the scan.
-            if not fresh and runs_per_boundary.get(b_idx, 0) > 1:
-                for k in range(1, min(cfg.viewing_radius, n - 1) + 1):
-                    probe = (b_idx, (pos + run.direction * k) % n)
-                    for other_id in at_position.get(probe, ()):
-                        other = self.runs[other_id]
-                        if other_id == rid:
-                            continue
-                        if other.direction == run.direction:
-                            if 2 * k < n:  # we are genuinely the follower
-                                stop = True
-                                break
-                        elif k <= cfg.run_passing_distance:
-                            passing = True
-                    if stop:
-                        break
+            for k in range(1, probe_len + 1):
+                for other_id in at_node.get(id(heads[k - 1]), ()):
+                    other = self.runs[other_id]
+                    if other_id == rid:
+                        continue
+                    if other.direction == run.direction:
+                        if 2 * k < n:  # we are genuinely the follower
+                            stop = True
+                            break
+                    elif k <= cfg.run_passing_distance:
+                        passing = True
+                if stop:
+                    break
             if stop:
                 self._planned.append(
                     _Planned(run, terminate="run_saw_sequent")
@@ -305,14 +404,19 @@ class RunManager:
                 continue
 
             # Rule 2: quasi-line endpoint just ahead -> stop (see module
-            # docstring for the operationalization).
-            if not fresh and self._endpoint_ahead(robots, pos, run):
-                self._planned.append(
-                    _Planned(run, terminate="run_saw_endpoint")
-                )
-                continue
+            # docstring for the operationalization; degenerate contours
+            # leave no room for a 3-robot segment and never match).
+            if horizon >= 1:
+                window = [node.cell] + [
+                    h.cell for h in heads[: horizon + 1]
+                ]
+                if _endpoint_in_window(window, run.axis == "h"):
+                    self._planned.append(
+                        _Planned(run, terminate="run_saw_endpoint")
+                    )
+                    continue
 
-            next_robot = robots[(pos + run.direction) % n]
+            next_robot = heads[0].cell
             planned = _Planned(run, next_robot=next_robot)
 
             if not passing:
@@ -328,35 +432,21 @@ class RunManager:
     def _endpoint_ahead(
         self, robots: Tuple[Cell, ...], pos: int, run: Run
     ) -> bool:
-        """Rule 2: a perpendicular aligned segment of >= 3 robots within the
-        passing horizon ahead marks the quasi line's endpoint."""
-        cfg = self.cfg
+        """Rule 2 over an explicit robot cycle (tuple form, kept for
+        tests/analysis; the planner walks the ring via
+        :meth:`_endpoint_ahead_ring`)."""
         n = len(robots)
-        horizon = min(cfg.run_passing_distance + 1, n - 2)
+        horizon = min(self.cfg.run_passing_distance + 1, n - 2)
         if horizon < 1:
             # Degenerate contour (n <= 2): the clamped horizon leaves no
             # room for a 3-robot aligned segment (two steps), and the
             # probe indices below would wrap around the whole cycle.
             return False
-        perp_streak = 0
         dirn = run.direction
-        horizontal = run.axis == "h"
-        a = robots[pos % n]
-        for k in range(horizon + 1):
-            b = robots[(pos + dirn * (k + 1)) % n]
-            sx, sy = b[0] - a[0], b[1] - a[1]
-            a = b
-            if abs(sx) + abs(sy) != 1:
-                perp_streak = 0  # diagonal (pinch) step: no information
-                continue
-            perp = (sx == 0) if horizontal else (sy == 0)
-            if perp:
-                perp_streak += 1
-                if perp_streak >= 2:  # two steps = three aligned robots
-                    return True
-            else:
-                perp_streak = 0
-        return False
+        window = [robots[pos % n]] + [
+            robots[(pos + dirn * (k + 1)) % n] for k in range(horizon + 1)
+        ]
+        return _endpoint_in_window(window, run.axis == "h")
 
     def _fold_target(
         self,
@@ -379,19 +469,31 @@ class RunManager:
         anchors, and the fold keeps both adjacencies — this is how the
         paper's Fig. 5 symmetry hazard is excluded (there, the hopping
         robots lost an anchor adjacency).
+
+        Checks are inlined (no geometry helpers): this runs for every
+        live run every round.
         """
-        nbrs = [c for c in neighbors4(robot) if c in occupied]
+        x, y = robot
+        nbrs = []
+        if (x + 1, y) in occupied:
+            nbrs.append((x + 1, y))
+        if (x, y + 1) in occupied:
+            nbrs.append((x, y + 1))
+        if (x - 1, y) in occupied:
+            nbrs.append((x - 1, y))
+        if (x, y - 1) in occupied:
+            nbrs.append((x, y - 1))
         if len(nbrs) != 2:
             return None
-        v0, v1 = sub(nbrs[0], robot), sub(nbrs[1], robot)
-        if not perpendicular(v0, v1):
-            return None
-        target = add(robot, add(v0, v1))
+        n0, n1 = nbrs
+        if n0[0] == n1[0] or n0[1] == n1[1]:
+            return None  # collinear (opposite) neighbors, not a corner
+        target = (n0[0] + n1[0] - x, n0[1] + n1[1] - y)
         if target in occupied:
             return None  # occupied diagonal = state-free corner merge's job
-        if nbrs[0] in merge_moves or nbrs[1] in merge_moves:
+        if n0 in merge_moves or n1 in merge_moves:
             return None
-        if nbrs[0] in runner_cells or nbrs[1] in runner_cells:
+        if n0 in runner_cells or n1 in runner_cells:
             return None
         return target
 
@@ -436,7 +538,16 @@ class RunManager:
                 # the next robot merged into the runner's cell
                 outcome.append((run, "run_merged"))
                 continue
-            advanced = replace(run, robot=next_after, prev=holder_after)
+            # dataclasses.replace is measurably slow in this per-run hot
+            # loop; construct the advanced run directly.
+            advanced = Run(
+                run_id=run.run_id,
+                robot=next_after,
+                prev=holder_after,
+                direction=run.direction,
+                axis=run.axis,
+                born_round=run.born_round,
+            )
             new_runs[run.run_id] = advanced
             outcome.append((advanced, None))
         self.runs = new_runs

@@ -39,6 +39,7 @@ from repro.grid.boundary import (
     extract_boundaries,
     outer_boundary,
 )
+from repro.grid.ring import BoundaryRing, RingNode, RingSet
 from repro.grid.envelope import (
     smallest_enclosing_rectangle,
     upper_envelope,
@@ -71,6 +72,9 @@ __all__ = [
     "is_connected",
     "articulation_cells",
     "Boundary",
+    "BoundaryRing",
+    "RingNode",
+    "RingSet",
     "boundary_cells",
     "extract_boundaries",
     "outer_boundary",

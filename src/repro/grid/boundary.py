@@ -19,14 +19,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.grid.geometry import (
     Cell,
     DIRECTIONS4,
     SOUTH,
     add,
-    neighbors8,
 )
 from repro.grid.occupancy import SwarmState
 
@@ -182,8 +181,8 @@ def extract_boundaries(state: SwarmState | Set[Cell]) -> List[Boundary]:
 
     Raises ``ValueError`` on an empty swarm.  O(total number of sides).
     Output is canonical (see :func:`_make_boundary`): independent of set
-    iteration order, and reproducible by the incremental
-    :class:`BoundaryCache`.
+    iteration order, and reproduced byte-identically by the incremental
+    :class:`repro.grid.ring.RingSet` via ``to_boundary()``.
     """
     occupied: Set[Cell] = (
         state.cells if isinstance(state, SwarmState) else set(state)
@@ -238,148 +237,3 @@ def boundary_cells(state: SwarmState | Set[Cell]) -> Set[Cell]:
                 out.add(c)
                 break
     return out
-
-
-class BoundaryCache:
-    """Incremental boundary extraction across engine rounds.
-
-    Invariant exploited (see ``docs/incremental.md``): a contour cycle's
-    side-to-side successor depends only on occupancy within Chebyshev
-    distance 1 of the side's cell.  Hence a cached :class:`Boundary` none
-    of whose robots lies within Chebyshev distance 1 of a cell whose
-    occupancy flipped ("clean") is still *exactly* a boundary cycle of the
-    new configuration and is reused as-is; every other current cycle must
-    pass through a side whose cell is *dirty* and is re-traced from the
-    dirty cells' sides.  Combined with the canonical rotation/ordering of
-    :func:`extract_boundaries`, ``update`` returns byte-identical results
-    to a full extraction.
-
-    The clean-cycle argument assumes the swarm stays *connected* (as the
-    paper's model and the engine's safety check guarantee): on connected
-    swarms an invalidated outer contour is always re-traced through the
-    anchor side.  On disconnected input — reachable only with
-    ``check_connectivity=False`` — the anchor may migrate to a contour
-    that was kept; ``update`` detects that and re-flags the kept contour,
-    still matching full extraction.
-    """
-
-    def __init__(self) -> None:
-        self._boundaries: List[Boundary] = []
-        self._primed = False
-
-    def rebuild(self, occupied: Set[Cell]) -> List[Boundary]:
-        """Full extraction; resets the cache."""
-        self._boundaries = extract_boundaries(occupied)
-        self._primed = True
-        return list(self._boundaries)
-
-    def update(
-        self,
-        occupied: Set[Cell],
-        changed: Iterable[Cell],
-        rows: Dict[int, List[int]] | None = None,
-    ) -> List[Boundary]:
-        """Boundaries of ``occupied`` given the cells whose occupancy
-        flipped since the cached configuration.
-
-        ``rows`` is an optional ``y -> sorted xs`` index of ``occupied``
-        (``SwarmState.rows()``): with it, re-anchoring an invalidated
-        outer contour costs O(#rows) instead of an O(n) scan.
-        """
-        if not self._primed:
-            return self.rebuild(occupied)
-        dirty: Set[Cell] = set()
-        for ch in changed:
-            dirty.add(ch)
-            dirty.update(neighbors8(ch))
-        if not dirty:
-            return list(self._boundaries)
-
-        # The dirty set is small, so per-boundary isdisjoint (C-level hash
-        # probes of each dirty cell) beats maintaining a reverse index.
-        # Note: no early exit when nothing was invalidated — a vacated
-        # *interior* cell opens a brand-new hole contour whose robots were
-        # on no cached boundary, and only the seed loop below finds it.
-        kept: List[Boundary] = []
-        invalid: List[Boundary] = []
-        for b in self._boundaries:
-            (kept if b.robot_set.isdisjoint(dirty) else invalid).append(b)
-
-        # If the outer contour was invalidated, exactly one current cycle
-        # contains the anchor side: that one is the new outer contour.
-        anchor = (
-            _outer_anchor_from_rows(rows) if rows else outer_anchor(occupied)
-        )
-        outer_pending = any(b.is_outer for b in invalid)
-        demoted = False
-        if not outer_pending:
-            # The outer contour was kept.  On a connected swarm its
-            # canonical first side IS the anchor (O(1) check); a mismatch
-            # means disconnected input moved the anchor to another
-            # contour — demote the stale outer (inner-canonical rotation,
-            # as full extraction would) and promote the anchor's contour.
-            for i, b in enumerate(kept):
-                if b.is_outer:
-                    if b.sides[0] != anchor:
-                        kept[i] = _make_boundary(
-                            list(b.sides), is_outer=False, anchor=anchor
-                        )
-                        outer_pending = True
-                        demoted = True
-                    break
-
-        visited: Set[Side] = set()
-        retraced: List[Boundary] = []
-        for c in dirty:
-            if c not in occupied:
-                continue
-            cx, cy = c
-            for dx, dy in DIRECTIONS4:
-                if (cx + dx, cy + dy) in occupied:
-                    continue
-                start: Side = (c, (dx, dy))
-                if start in visited:
-                    continue
-                trace = _trace_cycle(occupied, start)
-                visited.update(trace)
-                is_outer = outer_pending and anchor in trace
-                if is_outer:
-                    outer_pending = False
-                retraced.append(
-                    _make_boundary(trace, is_outer=is_outer, anchor=anchor)
-                )
-        if outer_pending:
-            # Disconnected input only (see class docstring): the anchor
-            # side now lies on a contour that was kept — re-rotate and
-            # re-flag it as the outer, exactly as full extraction would.
-            for i, b in enumerate(kept):
-                if anchor in b.sides:
-                    kept[i] = _make_boundary(
-                        list(b.sides), is_outer=True, anchor=anchor
-                    )
-                    break
-            demoted = True
-        if demoted:
-            # A kept contour changed its sort key in place: the fast
-            # merge below would interleave wrongly — re-sort everything.
-            self._boundaries = _sorted_boundaries(kept + retraced)
-            return list(self._boundaries)
-        # `kept` is already in canonical order (a subsequence of the cached
-        # canonical list); merge the few retraced contours into it instead
-        # of re-sorting everything (porous blobs have hundreds of inner
-        # contours, of which a round typically touches a handful).
-        retraced.sort(key=lambda b: (not b.is_outer, b.sides[0]))
-        merged: List[Boundary] = []
-        i = j = 0
-        while i < len(kept) and j < len(retraced):
-            bk, br = kept[i], retraced[j]
-            if (not bk.is_outer, bk.sides[0]) <= (not br.is_outer, br.sides[0]):
-                merged.append(bk)
-                i += 1
-            else:
-                merged.append(br)
-                j += 1
-        merged.extend(kept[i:])
-        merged.extend(retraced[j:])
-        self._boundaries = merged
-        return list(self._boundaries)

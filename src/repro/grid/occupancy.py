@@ -271,23 +271,26 @@ class SwarmState:
                     f"illegal move {src} -> {dst}: farther than one hop"
                 )
         before = len(cells)
-        stay = cells - moves.keys()
         targets = set(moves.values())
-        after: Set[Cell] = stay | targets
-        self._cells = after
+        # Mutate in place (O(moved), not O(n)): a vacated source is a
+        # changed cell unless some robot moves onto it; a target is
+        # changed unless it was already occupied before the round.
         changed = frozenset(
-            {src for src in moves if src not in after}
-            | {dst for dst in targets if dst not in cells}
+            [src for src in moves if src not in targets]
+            + [dst for dst in targets if dst not in cells]
         )
+        for src in moves:
+            cells.discard(src)
+        cells |= targets
         self.last_changed = changed
         if self._rows is not None:
             for c in changed:
-                if c in after:
+                if c in cells:
                     self._index_add(c)
                 else:
                     self._index_remove(c)
         self.version += 1
-        return before - len(after)
+        return before - len(cells)
 
     def move_robot(self, src: Cell, dst: Cell) -> bool:
         """Move a single robot (sequential/ASYNC semantics); True on merge.

@@ -125,22 +125,26 @@ class TestBoundaryCells:
         assert boundary_cells(state) == union
 
 
-class TestBoundaryCacheDisconnected:
+class TestRingSetDisconnected:
+    """The linked-ring cache must survive the same disconnected-input
+    regressions the old tuple BoundaryCache did (reachable only with
+    check_connectivity=False): materialized output stays byte-identical
+    to a full extraction."""
+
     def test_anchor_migrates_to_kept_contour(self):
-        """Regression: on disconnected input (only reachable with
-        check_connectivity=False) the global anchor can move onto a
-        contour the cache kept; update() must re-flag it as outer,
+        """Regression: on disconnected input the global anchor can move
+        onto a contour the cache kept; update() must re-flag it as outer,
         byte-identically to a full extraction."""
-        from repro.grid.boundary import BoundaryCache, extract_boundaries
+        from repro.grid.ring import RingSet
 
         block = {(x, y) for x in range(10, 13) for y in range(1, 4)}
         old = {(0, 0), (0, 1)} | block  # column is bottommost -> outer
         new = {(0, 2), (0, 3)} | block  # column rises above the block
         changed = old ^ new
 
-        cache = BoundaryCache()
-        cache.rebuild(old)
-        incremental = cache.update(new, changed)
+        rs = RingSet.from_cells(old)
+        rs.update(new, changed)
+        incremental = rs.to_boundaries()
         full = extract_boundaries(new)
         assert incremental == full
         assert sum(b.is_outer for b in incremental) == 1
@@ -150,32 +154,32 @@ class TestBoundaryCacheDisconnected:
         """Mirror regression: the old outer contour is kept while another
         component moves below it — the outer flag must migrate to the
         re-traced contour, byte-identically to full extraction."""
-        from repro.grid.boundary import BoundaryCache, extract_boundaries
+        from repro.grid.ring import RingSet
 
         block = {(x, y) for x in range(10, 13) for y in range(1, 4)}
         old = {(0, 2), (0, 3)} | block  # block is bottommost -> outer
         new = {(0, 0), (0, 1)} | block  # column sinks below the block
         changed = old ^ new
 
-        cache = BoundaryCache()
-        cache.rebuild(old)
-        incremental = cache.update(new, changed)
+        rs = RingSet.from_cells(old)
+        rs.update(new, changed)
+        incremental = rs.to_boundaries()
         full = extract_boundaries(new)
         assert incremental == full
         assert [b.is_outer for b in incremental] == [True, False]
 
     def test_interior_vacancy_opens_new_hole_contour(self):
         """Regression: vacating an interior cell creates a hole contour
-        whose robots were on no cached boundary — no cached contour is
-        invalidated, but the new cycle must still be traced."""
-        from repro.grid.boundary import BoundaryCache, extract_boundaries
+        whose robots were on no cached ring — no node is dirty, but the
+        new cycle must still be seeded."""
+        from repro.grid.ring import RingSet
 
         old = {(x, y) for x in range(5) for y in range(5)}
         new = old - {(2, 2)}
 
-        cache = BoundaryCache()
-        cache.rebuild(old)
-        incremental = cache.update(new, {(2, 2)})
+        rs = RingSet.from_cells(old)
+        rs.update(new, {(2, 2)})
+        incremental = rs.to_boundaries()
         full = extract_boundaries(new)
         assert incremental == full
         assert len(incremental) == 2  # outer + the new hole
@@ -183,20 +187,20 @@ class TestBoundaryCacheDisconnected:
 
     def test_demoted_outer_keeps_canonical_order(self):
         """Regression: when a kept outer is demoted (anchor lands on a
-        re-traced contour of another component), the returned list must
-        still be fully re-sorted — the fast merge assumes kept order."""
-        from repro.grid.boundary import BoundaryCache, extract_boundaries
-        from repro.swarms.generators import ring
+        re-traced contour of another component), the ring list must come
+        back in fully canonical order."""
+        from repro.grid.ring import RingSet
+        from repro.swarms.generators import ring as make_ring
 
         block = {(x + 100, y) for x in range(2) for y in range(2)}
-        ring_cells = {(x, y + 1) for (x, y) in ring(12)}
+        ring_cells = {(x, y + 1) for (x, y) in make_ring(12)}
         old = block | ring_cells  # block holds the anchor -> outer
         new = (old - {(5, 1)}) | {(5, 0)}  # ring's wall dips below it
         changed = old ^ new
 
-        cache = BoundaryCache()
-        cache.rebuild(old)
-        incremental = cache.update(new, changed)
+        rs = RingSet.from_cells(old)
+        rs.update(new, changed)
+        incremental = rs.to_boundaries()
         full = extract_boundaries(new)
         assert incremental == full
         assert sum(b.is_outer for b in incremental) == 1

@@ -115,3 +115,62 @@ class TestAsyncEngine:
         eng = AsyncEngine(SwarmState([(0, 0), (1, 0), (2, 0)]), Breaker())
         with pytest.raises(ConnectivityViolation):
             eng.step_round()
+
+
+class TestIncrementalConnectivity:
+    """The per-activation ``locally_connected_after`` certificate must
+    never change observable behavior vs the seed's full-BFS-per-activation
+    (single-robot moves are the certificate's easiest case)."""
+
+    def _run(self, incremental):
+        from repro.baselines.async_greedy import AsyncGreedyGatherer
+        from repro.swarms.generators import random_blob, ring
+
+        results = []
+        for cells in (ring(10), random_blob(60, 5)):
+            eng = AsyncEngine(
+                SwarmState(cells),
+                AsyncGreedyGatherer(),
+                seed=42,
+                incremental_connectivity=incremental,
+            )
+            r = eng.run()
+            series = [
+                (m.round_index, m.robots, m.merged, m.diameter)
+                for m in r.metrics
+            ]
+            results.append(
+                (r.gathered, r.rounds, r.activations, series, eng.state.frozen())
+            )
+        return results
+
+    def test_certificate_mode_bit_identical(self):
+        assert self._run(True) == self._run(False)
+
+    def test_certificate_mode_deterministic(self):
+        assert self._run(True) == self._run(True)
+
+    def test_breaker_still_caught_with_certificate(self):
+        # the certificate is sound: a disconnecting move must still raise
+        class Breaker:
+            def activate(self, state, robot):
+                if robot == (1, 0):
+                    return (1, 1)
+                return robot
+
+        eng = AsyncEngine(
+            SwarmState([(0, 0), (1, 0), (2, 0)]),
+            Breaker(),
+            incremental_connectivity=True,
+        )
+        with pytest.raises(ConnectivityViolation):
+            eng.step_round()
+
+    def test_disconnected_initial_swarm_rejected(self):
+        # the certificate is only sound relative to a connected swarm, so
+        # (like FsyncEngine) disconnected input is rejected up front
+        with pytest.raises(ValueError):
+            AsyncEngine(
+                SwarmState([(0, 0), (1, 0), (10, 10), (11, 10)]),
+                StayController(),
+            )

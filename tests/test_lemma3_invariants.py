@@ -72,21 +72,22 @@ def test_invariant4_sequent_spacing(cells):
     viewing distance for long (the follower stops within one round)."""
     ctrl = GatherOnGrid(CFG)
     engine = FsyncEngine(SwarmState(cells), ctrl)
-    from repro.grid.boundary import extract_boundaries
+    from repro.grid.ring import RingSet
 
     violations = 0
     for i in range(60):
         if engine.state.is_gathered():
             break
         engine.step()
-        boundaries = extract_boundaries(engine.state)
-        located, _ = ctrl.run_manager.locate(boundaries)
+        contours = RingSet.from_cells(engine.state)
+        located, _ = ctrl.run_manager.locate(contours)
         runs = ctrl.run_manager.runs
         by_boundary = {}
-        for rid, (b, p) in located.items():
-            by_boundary.setdefault(b, []).append((p, rid))
+        for rid, loc in located.items():
+            pos = loc.ring.positions_map()[loc.node]
+            by_boundary.setdefault(loc.b_idx, []).append((pos, rid))
         for b, entries in by_boundary.items():
-            n = len(boundaries[b].robots)
+            n = len(contours.rings[b])
             for p1, r1 in entries:
                 for p2, r2 in entries:
                     if r1 >= r2:

@@ -1,14 +1,12 @@
 """Unit tests for the run-state machinery (Sections 3.2/3.3, Table 1)."""
 
-import pytest
-
 from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
 from repro.core.quasiline import run_start_sites
 from repro.core.runs import RunManager
 from repro.engine.scheduler import FsyncEngine
-from repro.grid.boundary import extract_boundaries
 from repro.grid.occupancy import SwarmState
+from repro.grid.ring import RingSet
 from repro.swarms.generators import ring
 
 
@@ -17,12 +15,12 @@ CFG = AlgorithmConfig()
 
 def manager_with_starts(cells, cfg=CFG):
     state = SwarmState(cells)
-    boundaries = extract_boundaries(state)
+    contours = RingSet.from_cells(state)
     mgr = RunManager(cfg)
-    sites = run_start_sites(boundaries, cfg.start_straight_steps)
-    located, lost = mgr.locate(boundaries)
-    mgr.start_runs(boundaries, sites, 0, located)
-    return state, boundaries, mgr
+    sites = run_start_sites(contours.rings, cfg.start_straight_steps)
+    located, lost = mgr.locate(contours)
+    mgr.start_runs(contours, sites, 0, located)
+    return state, contours, mgr
 
 
 class TestStartRuns:
@@ -66,23 +64,23 @@ class TestStartRuns:
         assert any(len(v) == 2 for v in by_robot.values())
 
     def test_no_duplicate_key(self):
-        state, boundaries, mgr = manager_with_starts(ring(12))
-        sites = run_start_sites(boundaries, CFG.start_straight_steps)
-        located, _ = mgr.locate(boundaries)
+        state, contours, mgr = manager_with_starts(ring(12))
+        sites = run_start_sites(contours.rings, CFG.start_straight_steps)
+        located, _ = mgr.locate(contours)
         before = mgr.active_run_count
-        mgr.start_runs(boundaries, sites, 1, located)
+        mgr.start_runs(contours, sites, 1, located)
         assert mgr.active_run_count == before  # same (robot, dir) blocked
 
 
 class TestLocate:
     def test_fresh_runs_locatable(self):
-        state, boundaries, mgr = manager_with_starts(ring(12))
-        located, lost = mgr.locate(boundaries)
+        state, contours, mgr = manager_with_starts(ring(12))
+        located, lost = mgr.locate(contours)
         assert not lost
         assert set(located) == set(mgr.runs)
 
     def test_lost_run_reported(self):
-        state, boundaries, mgr = manager_with_starts(ring(12))
+        state, contours, mgr = manager_with_starts(ring(12))
         # teleport a run's robot context away
         rid = min(mgr.runs)
         run = mgr.runs[rid]
@@ -94,7 +92,7 @@ class TestLocate:
             axis=run.axis,
             born_round=run.born_round,
         )
-        located, lost = mgr.locate(boundaries)
+        located, lost = mgr.locate(contours)
         assert rid in lost
 
 
@@ -182,9 +180,8 @@ class TestRunPassing:
         mgr = RunManager(CFG)
         cells = ring(16)
         state = SwarmState(cells)
-        boundaries = extract_boundaries(state)
-        b = boundaries[0]
-        robots = b.robots
+        contours = RingSet.from_cells(state)
+        robots = contours.rings[0].robots_cycle()
         n = len(robots)
         # place run 0 on a corner robot (foldable!) with an opposite run
         # 2 steps ahead of it
@@ -192,14 +189,14 @@ class TestRunPassing:
         j = (i + 2) % n
         mgr.runs[0] = Run(0, robots[i], robots[(i - 1) % n], 1, "h", -5)
         mgr.runs[1] = Run(1, robots[j], robots[(j + 1) % n], -1, "h", -5)
-        located, lost = mgr.locate(boundaries)
-        moves = mgr.plan(boundaries, state.cells, {}, located, lost, 99)
+        located, lost = mgr.locate(contours)
+        moves = mgr.plan(contours, state.cells, {}, located, lost, 99)
         assert robots[i] not in moves, "corner must not fold while passing"
         # sanity: without the opposite run the same corner does fold
         mgr2 = RunManager(CFG)
         mgr2.runs[0] = Run(0, robots[i], robots[(i - 1) % n], 1, "h", -5)
-        located2, lost2 = mgr2.locate(boundaries)
-        moves2 = mgr2.plan(boundaries, state.cells, {}, located2, lost2, 99)
+        located2, lost2 = mgr2.locate(contours)
+        moves2 = mgr2.plan(contours, state.cells, {}, located2, lost2, 99)
         assert robots[i] in moves2
 
 
@@ -274,3 +271,58 @@ class TestEndpointAheadDegenerate:
 
         r = gather([(x, y) for x in range(3) for y in range(2)])
         assert r.gathered
+
+
+class TestOneThickContours:
+    """A robot on a 1-thick contour appears several times in one cycle,
+    and its occurrences are *not* contiguous (the contour passes it once
+    per side).  Run location must disambiguate occurrences by the
+    remembered predecessor, never by assuming contiguity."""
+
+    L_SHAPE = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def _locate_single(self, robot, prev, direction):
+        from repro.core.runs import Run
+
+        state = SwarmState(self.L_SHAPE)
+        contours = RingSet.from_cells(state)
+        mgr = RunManager(CFG)
+        mgr.runs[0] = Run(0, robot, prev, direction, "h", -5)
+        located, lost = mgr.locate(contours)
+        return contours, located, lost
+
+    def test_occurrences_not_contiguous(self):
+        contours = RingSet.from_cells(SwarmState(self.L_SHAPE))
+        robots = contours.rings[0].robots_cycle()
+        idx = [i for i, r in enumerate(robots) if r == (1, 0)]
+        assert len(idx) == 2
+        i, j = idx
+        assert j - i > 1 and (i + len(robots)) - j > 1
+
+    def test_locate_picks_occurrence_by_predecessor(self):
+        # heading right along the bottom: behind is (0, 0)
+        contours, located, lost = self._locate_single((1, 0), (0, 0), 1)
+        assert not lost
+        _, ring_, node = located[0]
+        assert ring_.behind_cell(node, 1) == (0, 0)
+        assert ring_.step(node, 1).cell == (2, 0)
+        # the same robot+direction with the return-leg predecessor (the
+        # contour steps diagonally from (2, 1) home to (1, 0)) must
+        # resolve to the *other* occurrence
+        contours, located2, lost2 = self._locate_single((1, 0), (2, 1), 1)
+        assert not lost2
+        _, ring2, node2 = located2[0]
+        assert ring2.behind_cell(node2, 1) == (2, 1)
+        assert ring2.step(node2, 1).cell == (0, 0)
+        assert node2 is not node
+
+    def test_one_thick_shapes_gather(self):
+        from repro.core.algorithm import gather
+
+        for cells in (
+            [(i, 0) for i in range(7)],
+            self.L_SHAPE,
+            [(0, 0), (1, 0), (2, 0), (1, 1), (1, 2)],  # T shape
+        ):
+            r = gather(cells)
+            assert r.gathered, f"1-thick shape {cells} must gather"

@@ -38,9 +38,14 @@ from repro.swarms.generators import (
     staircase_corridor,
 )
 
-#: Event kinds emitted by the engine (not the controller); excluded from
-#: golden hashes because the seed implementation predates them.
-ENGINE_EVENT_KINDS = frozenset({"gathered", "budget_exhausted"})
+#: Non-trajectory event kinds, excluded from golden hashes: engine
+#: terminals (the seed never emitted them) and the incremental pipeline's
+#: ``boundary_respliced`` audit events (diagnostics of *how* boundaries
+#: were maintained — full-rescan mode does no splicing, so they cannot be
+#: part of the trajectory comparison).
+ENGINE_EVENT_KINDS = frozenset(
+    {"gathered", "budget_exhausted", "boundary_respliced"}
+)
 
 SCENARIOS = {
     # every generator family, two sizes each
