@@ -10,27 +10,19 @@ E4 — [SN14] context: global vision gathers in O(diameter) rounds.
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.fitting import scaling_exponent
 from repro.analysis.tables import format_table
 from repro.baselines.async_greedy import gather_async
-from repro.baselines.euclidean import gather_euclidean
+from repro.baselines.euclidean import gather_euclidean, worst_case_circle
 from repro.baselines.global_grid import gather_global_with_moves
 from repro.core.algorithm import gather
-from repro.swarms.generators import family, line, random_blob, solid_rectangle
+from repro.swarms.generators import line, random_blob, solid_rectangle
 
-
-def _euclid_circle(n: int):
-    """The [DKL+11] worst-case family: a circle with unit visibility."""
-    r = n * 0.9 / (2 * math.pi)
-    return [
-        (r * math.cos(2 * math.pi * i / n), r * math.sin(2 * math.pi * i / n))
-        for i in range(n)
-    ]
+#: The [DKL+11] worst-case family: a circle with unit visibility.
+_euclid_circle = worst_case_circle
 
 
 def test_e2_euclidean_comparison(benchmark):

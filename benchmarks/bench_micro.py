@@ -19,6 +19,7 @@ import time
 
 import pytest
 
+from repro.api import simulate
 from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
 from repro.core.patterns import plan_merges
@@ -180,13 +181,13 @@ def test_connectivity_check(benchmark):
 
 
 def test_full_gather_blob_800(benchmark):
+    """End-to-end gather through the facade (what users call): also
+    guards the `simulate()` orchestration against overhead regressions
+    relative to driving the engine directly."""
     cells = random_blob(800, 4)
 
     def run():
-        engine = FsyncEngine(
-            SwarmState(cells), GatherOnGrid(CFG), check_connectivity=False
-        )
-        return engine.run()
+        return simulate(cells, strategy="grid", check_connectivity=False)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.gathered

@@ -1,63 +1,60 @@
 #!/usr/bin/env python3
 """Experiments E2-E4 as a standalone study: the paper's context.
 
-Compares, on matched sizes:
+Compares, on matched sizes, every strategy in the unified facade's
+registry lineup:
   * this paper's grid algorithm (FSYNC, local)        -> O(n) rounds
   * [DKL+11] Euclidean go-to-center (FSYNC, local)    -> Theta(n^2) rounds
   * the ASYNC fair-scheduler greedy (Section 1 remark)-> O(n) rounds
   * global-vision gathering ([SN14] context)          -> O(diameter) rounds
 
+Each strategy is invoked through one entry point —
+``simulate(strategy=key)`` on its worst-case family
+(``STRATEGIES[key].compare_scenario(n)``) — and returns the same
+``RunResult``; this file is the facade's showcase.
+
 Run:  python examples/baseline_comparison.py
 """
 
-import math
-
-from repro import gather, line, random_blob
+from repro import STRATEGIES, simulate
 from repro.analysis import format_table, scaling_exponent
-from repro.baselines import gather_async, gather_euclidean
-from repro.baselines.global_grid import gather_global_with_moves
 
-
-def euclid_circle(n):
-    r = n * 0.9 / (2 * math.pi)
-    return [
-        (r * math.cos(2 * math.pi * i / n), r * math.sin(2 * math.pi * i / n))
-        for i in range(n)
-    ]
+LINEUP = [
+    ("grid", "grid (paper)"),
+    ("euclidean", "euclid GTC"),
+    ("async_greedy", "async greedy"),
+    ("global", "global vision"),
+]
 
 
 def main() -> None:
     sizes = [16, 32, 48, 64]
     rows = []
-    grid_r, euc_r, asy_r, glob_r = [], [], [], []
+    series = {key: [] for key, _ in LINEUP}
     for n in sizes:
-        g = gather(line(n), check_connectivity=False)
-        e = gather_euclidean(euclid_circle(n))
-        a = gather_async(random_blob(n, seed=n), check_connectivity=False)
-        gl, _ = gather_global_with_moves(line(n))
-        grid_r.append(max(g.rounds, 1))
-        euc_r.append(max(e.rounds, 1))
-        asy_r.append(max(a.rounds, 1))
-        glob_r.append(max(gl.rounds, 1))
-        rows.append((n, g.rounds, e.rounds, a.rounds, gl.rounds))
+        row = [n]
+        for key, _ in LINEUP:
+            result = simulate(
+                STRATEGIES[key].compare_scenario(n),
+                strategy=key,
+                check_connectivity=False,
+            )
+            series[key].append(max(result.rounds, 1))
+            row.append(result.rounds)
+        rows.append(tuple(row))
 
     print(
         format_table(
-            ["n", "grid (paper)", "euclid GTC", "async greedy", "global vision"],
+            ["n"] + [label for _, label in LINEUP],
             rows,
             title="rounds to gather (worst-case family per model)",
         )
     )
     print()
-    for name, data in [
-        ("grid (paper)", grid_r),
-        ("euclid GTC", euc_r),
-        ("async greedy", asy_r),
-        ("global vision", glob_r),
-    ]:
+    for key, label in LINEUP:
         print(
-            f"{name:14s} growth exponent "
-            f"{scaling_exponent([float(s) for s in sizes], data):.2f}"
+            f"{label:14s} growth exponent "
+            f"{scaling_exponent([float(s) for s in sizes], series[key]):.2f}"
         )
     print(
         "\npaper's claim: the grid algorithm matches the linear models "

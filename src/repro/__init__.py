@@ -8,11 +8,17 @@ a full experiment harness.
 
 Quickstart::
 
-    from repro import gather, ring
+    from repro import Scenario, simulate
 
-    result = gather(ring(20))
+    result = simulate(Scenario(family="ring", n=100))
     assert result.gathered
     print(result.rounds, "rounds for", result.robots_initial, "robots")
+
+``simulate()`` is the unified facade: every workload — the paper's grid
+algorithm and all baselines it is compared against — runs behind it,
+selected by string key from the ``STRATEGIES``/``SCHEDULERS`` registries
+and returning one uniform ``RunResult`` (see docs/api.md).  The classic
+``gather(cells)`` spelling still works and routes through the facade.
 
 See README.md for the architecture overview, DESIGN.md for the paper-to-
 module mapping, and EXPERIMENTS.md for measured results.
@@ -32,8 +38,11 @@ from repro.engine import (
     FsyncEngine,
     GatherResult,
     NotGathered,
+    RunResult,
+    Scenario,
 )
 from repro.grid import SwarmState, extract_boundaries, is_connected
+from repro.api import SCHEDULERS, STRATEGIES, simulate
 from repro.swarms import (
     diamond_ring,
     double_donut,
@@ -47,9 +56,14 @@ from repro.swarms import (
     staircase,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "simulate",
+    "Scenario",
+    "RunResult",
+    "STRATEGIES",
+    "SCHEDULERS",
     "GATHER_SQUARE",
     "MAX_BUMP_LENGTH",
     "RUN_PASSING_DISTANCE",

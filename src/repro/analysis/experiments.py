@@ -22,10 +22,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.algorithm import gather
+from repro.api import simulate
 from repro.core.config import AlgorithmConfig
-from repro.grid.occupancy import SwarmState
-from repro.swarms.generators import family
+from repro.engine.protocols import Scenario
 
 
 @dataclass(frozen=True)
@@ -38,6 +37,7 @@ class ScalingPoint:
     gathered: bool
     merges: int
     diameter: int
+    strategy: str = "grid"
 
     @property
     def rounds_per_n(self) -> float:
@@ -46,7 +46,13 @@ class ScalingPoint:
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One unit of sweep work (picklable: safe to ship to a worker)."""
+    """One unit of sweep work (picklable: safe to ship to a worker).
+
+    ``strategy`` is a :data:`repro.api.STRATEGIES` key, so scaling and
+    ablation sweeps cover the baselines through the same facade the CLI
+    uses (strategy objects never cross process boundaries — only the
+    string key does, and the worker resolves it against its own
+    registry)."""
 
     family: str
     n: int
@@ -54,6 +60,7 @@ class SweepJob:
     cfg: Optional[AlgorithmConfig] = None
     check_connectivity: bool = True
     max_rounds: Optional[int] = None
+    strategy: str = "grid"
 
 
 def _resolve_workers(workers: Optional[int]) -> Optional[int]:
@@ -81,11 +88,10 @@ def _map_maybe_parallel(fn, items, workers: Optional[int]) -> list:
 
 def run_job(job: SweepJob) -> ScalingPoint:
     """Execute one sweep job (also the process-pool entry point)."""
-    cells = family(job.family, job.n, seed=job.seed)
-    diameter = SwarmState(cells).diameter_chebyshev()
-    result = gather(
-        cells,
-        job.cfg,
+    result = simulate(
+        Scenario(family=job.family, n=job.n, seed=job.seed),
+        strategy=job.strategy,
+        config=job.cfg,
         check_connectivity=job.check_connectivity,
         max_rounds=job.max_rounds,
     )
@@ -95,7 +101,8 @@ def run_job(job: SweepJob) -> ScalingPoint:
         rounds=result.rounds,
         gathered=result.gathered,
         merges=result.merges_total,
-        diameter=diameter,
+        diameter=int(round(result.extras["initial_diameter"])),
+        strategy=job.strategy,
     )
 
 
@@ -111,6 +118,7 @@ def run_scaling(
     sizes: Sequence[int],
     cfg: Optional[AlgorithmConfig] = None,
     *,
+    strategy: str = "grid",
     check_connectivity: bool = True,
     max_rounds: Optional[int] = None,
     seeds: Optional[Sequence[int]] = None,
@@ -120,7 +128,8 @@ def run_scaling(
 
     ``n`` recorded is the *actual* robot count (generators hit the target
     only approximately for structured shapes).  ``seeds`` optionally
-    provides a per-size seed for stochastic families.
+    provides a per-size seed for stochastic families; ``strategy`` sweeps
+    any registered workload (baselines included) through the facade.
     """
     jobs = [
         SweepJob(
@@ -130,6 +139,7 @@ def run_scaling(
             cfg=cfg,
             check_connectivity=check_connectivity,
             max_rounds=max_rounds,
+            strategy=strategy,
         )
         for i, size in enumerate(sizes)
     ]
@@ -147,8 +157,10 @@ _AblationTask = Tuple[
 def _run_ablation_point(task: _AblationTask) -> int:
     param_name, value, family_name, n, seed, max_rounds = task
     cfg = replace(AlgorithmConfig(), **{param_name: value})
-    result = gather(
-        family(family_name, n, seed=seed), cfg, max_rounds=max_rounds
+    result = simulate(
+        Scenario(family=family_name, n=n, seed=seed),
+        config=cfg,
+        max_rounds=max_rounds,
     )
     return result.rounds if result.gathered else -1
 
@@ -192,8 +204,8 @@ def sweep(
     """
     out: Dict[object, int] = {}
     for value in param_values:
-        result = gather(
-            cells_factory(), make_cfg(value), max_rounds=max_rounds
+        result = simulate(
+            cells_factory(), config=make_cfg(value), max_rounds=max_rounds
         )
         out[value] = result.rounds if result.gathered else -1
     return out

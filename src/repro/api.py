@@ -1,0 +1,710 @@
+"""The unified simulation facade: ``simulate()`` over pluggable
+strategies and schedulers.
+
+The paper's central claim is comparative — the local-view grid strategy
+gathers in O(n) FSYNC rounds where the Euclidean go-to-center baseline
+needs Theta(n^2), global vision needs O(diameter), and a fair ASYNC
+scheduler admits a simple O(n) strategy.  This module gives every one of
+those competitors (plus the chain-shortening lineage baselines) the same
+surface:
+
+>>> from repro import Scenario, simulate
+>>> result = simulate(Scenario(family="ring", n=100))          # the paper
+>>> result = simulate(Scenario(family="circle", n=32),
+...                   strategy="euclidean")                    # [DKL+11]
+>>> result.gathered, result.rounds, result.events.counts()     # uniform
+
+Strategies and schedulers are string-keyed registries (mirroring
+:data:`repro.swarms.generators.FAMILIES`), populated by decorator at
+import time:
+
+* :data:`STRATEGIES` — ``grid``, ``global``, ``euclidean``,
+  ``async_greedy``, ``chain``, ``closed_chain``;
+* :data:`SCHEDULERS` — ``fsync`` (the paper's time model; also drives
+  the bespoke self-clocked FSYNC loops of the Euclidean and chain
+  baselines) and ``async`` (the fair sequential scheduler).
+
+Every run returns one :class:`repro.engine.protocols.RunResult`.  The
+legacy per-workload entry points (``gather``, ``gather_async``,
+``gather_euclidean``, ``gather_global``, ``shorten_chain``,
+``gather_closed_chain``) are thin deprecation shims over ``simulate()``
+and keep returning their historical result types byte-identically.
+
+Future time models (SSYNC, fault injection) and workloads plug in by
+registering a class here — see ``docs/api.md`` for the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.async_greedy import AsyncGreedyGatherer
+from repro.baselines.chain import ChainShortener, hairpin_chain, zigzag_chain
+from repro.baselines.closed_chain import ClosedChainGatherer, rectangle_chain
+from repro.baselines.euclidean import (
+    EuclideanSwarm,
+    GoToCenterGatherer,
+    worst_case_circle,
+)
+from repro.baselines.global_grid import GlobalVisionGatherer
+from repro.core.algorithm import GatherOnGrid
+from repro.core.config import AlgorithmConfig
+from repro.engine.async_scheduler import AsyncEngine
+from repro.engine.events import EventLog
+from repro.engine.metrics import MetricsLog, RoundMetrics
+from repro.engine.protocols import (
+    AsyncProgram,
+    FsyncProgram,
+    RunResult,
+    Scenario,
+    Scheduler,
+    SimContext,
+    StateView,
+    SteppedProgram,
+    Strategy,
+)
+from repro.engine.scheduler import FsyncEngine
+from repro.grid.occupancy import SwarmState
+from repro.swarms.generators import family
+from repro.trace.recorder import TraceRecorder
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+STRATEGIES: Dict[str, Strategy] = {}
+SCHEDULERS: Dict[str, Scheduler] = {}
+
+
+def register_strategy(cls: type) -> type:
+    """Class decorator: instantiate and register a strategy by its key."""
+    inst = cls()
+    if inst.key in STRATEGIES:
+        raise ValueError(f"duplicate strategy key {inst.key!r}")
+    STRATEGIES[inst.key] = inst
+    return cls
+
+
+def register_scheduler(cls: type) -> type:
+    """Class decorator: instantiate and register a scheduler by its key."""
+    inst = cls()
+    if inst.key in SCHEDULERS:
+        raise ValueError(f"duplicate scheduler key {inst.key!r}")
+    SCHEDULERS[inst.key] = inst
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Scenario resolution helpers
+# ----------------------------------------------------------------------
+def _as_scenario(scenario: Any) -> Scenario:
+    if isinstance(scenario, Scenario):
+        return scenario
+    if isinstance(scenario, str):
+        raise TypeError(
+            "string scenarios are ambiguous; pass "
+            "Scenario(family=..., n=...) or an explicit sequence"
+        )
+    return Scenario(payload=list(scenario))
+
+
+def _grid_cells(scenario: Scenario, ctx: SimContext) -> List[Any]:
+    if scenario.payload is not None:
+        return list(scenario.payload)
+    seed = scenario.seed if scenario.seed is not None else ctx.seed
+    return family(scenario.family, scenario.n, seed=seed)
+
+
+def _span(points: Sequence[Any]) -> float:
+    """Chebyshev diameter of a point/cell set (the bounding-box span —
+    identical to ``SwarmState.diameter_chebyshev`` on grid cells)."""
+    if not points:
+        raise ValueError("cannot simulate an empty scenario")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return max(max(xs) - min(xs), max(ys) - min(ys))
+
+
+# ----------------------------------------------------------------------
+# Schedulers
+# ----------------------------------------------------------------------
+def _drive_stepped(
+    program: SteppedProgram, ctx: SimContext, scheduler_key: str
+) -> RunResult:
+    """Generic loop for self-clocked FSYNC programs: step until done or
+    budget, recording round metrics/events the legacy loops lacked."""
+    metrics = MetricsLog()
+    events = EventLog()
+    budget = (
+        ctx.max_rounds if ctx.max_rounds is not None
+        else program.default_budget()
+    )
+    rounds = 0
+    done = program.done()
+    while not done and rounds < budget:
+        program.step(rounds, metrics, events)
+        if ctx.on_round is not None:
+            ctx.on_round(rounds, program.view())
+        rounds += 1
+        done = program.done()
+    fields = program.result_fields()
+    robots_final = fields.pop("robots_final")
+    final_state = fields.pop("final_state")
+    events.emit(
+        rounds,
+        "gathered" if done else "budget_exhausted",
+        rounds=rounds,
+        robots=robots_final,
+    )
+    return RunResult(
+        strategy="",
+        scheduler=scheduler_key,
+        gathered=done,
+        rounds=rounds,
+        robots_initial=program.robots_initial,
+        robots_final=robots_final,
+        metrics=metrics,
+        events=events,
+        final_state=final_state,
+        extras=fields,
+    )
+
+
+@register_scheduler
+class FsyncScheduler:
+    """The paper's fully synchronous look-compute-move rounds.
+
+    Drives either an engine-backed :class:`FsyncProgram` (grid
+    controllers via :class:`repro.engine.scheduler.FsyncEngine`) or a
+    bespoke self-clocked FSYNC loop (:class:`SteppedProgram`: the
+    Euclidean and chain baselines, which are FSYNC models over non-grid
+    state).
+    """
+
+    key = "fsync"
+    description = "fully synchronous rounds (the paper's time model)"
+
+    def drive(self, program: Any, ctx: SimContext) -> RunResult:
+        if isinstance(program, FsyncProgram):
+            return self._drive_engine(program, ctx)
+        return _drive_stepped(program, ctx, self.key)
+
+    def _drive_engine(
+        self, program: FsyncProgram, ctx: SimContext
+    ) -> RunResult:
+        engine = FsyncEngine(
+            program.state,
+            program.controller,
+            check_connectivity=program.check_connectivity,
+            track_boundary=ctx.track_boundary,
+            on_round=ctx.on_round,
+        )
+        res = engine.run(max_rounds=ctx.max_rounds)
+        extras = dict(program.extras_fn()) if program.extras_fn else {}
+        return RunResult(
+            strategy="",
+            scheduler=self.key,
+            gathered=res.gathered,
+            rounds=res.rounds,
+            robots_initial=res.robots_initial,
+            robots_final=res.robots_final,
+            metrics=res.metrics,
+            events=res.events,
+            final_state=res.final_state,
+            extras=extras,
+        )
+
+
+@register_scheduler
+class AsyncScheduler:
+    """The fair sequential scheduler (one robot at a time, a round ends
+    when every robot was activated) via
+    :class:`repro.engine.async_scheduler.AsyncEngine`."""
+
+    key = "async"
+    description = "fair sequential scheduler (one robot active at a time)"
+
+    def drive(self, program: AsyncProgram, ctx: SimContext) -> RunResult:
+        seed = ctx.seed if ctx.seed is not None else program.seed
+        engine = AsyncEngine(
+            program.state,
+            program.controller,
+            seed=seed,
+            check_connectivity=program.check_connectivity,
+            on_round=ctx.on_round,
+        )
+        res = engine.run(max_rounds=ctx.max_rounds)
+        return RunResult(
+            strategy="",
+            scheduler=self.key,
+            gathered=res.gathered,
+            rounds=res.rounds,
+            robots_initial=res.robots_initial,
+            robots_final=res.robots_final,
+            metrics=res.metrics,
+            events=res.events,
+            final_state=engine.state,
+            activations=res.activations,
+        )
+
+
+# ----------------------------------------------------------------------
+# Grid-state strategies (FSYNC engine / ASYNC engine)
+# ----------------------------------------------------------------------
+@register_strategy
+class GridStrategy:
+    """The paper's O(n) local-view gathering (``GatherOnGrid``).
+
+    Options: ``controller`` — a pre-built :class:`GatherOnGrid` to plug
+    in (the CLI ``watch`` command uses it to read runner marks)."""
+
+    key = "grid"
+    description = "paper's local-view O(n) grid gathering (FSYNC)"
+    schedulers = ("fsync",)
+    default_scheduler = "fsync"
+    compare_label = "grid"
+
+    def resolve(self, scenario: Scenario, ctx: SimContext) -> List[Any]:
+        return _grid_cells(scenario, ctx)
+
+    def build(self, resolved: Any, ctx: SimContext) -> FsyncProgram:
+        controller = ctx.options.pop("controller", None)
+        if controller is None:
+            controller = GatherOnGrid(ctx.config or AlgorithmConfig())
+        return FsyncProgram(
+            state=SwarmState(resolved),
+            controller=controller,
+            check_connectivity=ctx.check_connectivity,
+        )
+
+    def compare_scenario(self, n: int) -> Scenario:
+        # the line realizes the paper's Omega(n) diameter lower bound
+        return Scenario(family="line", n=n)
+
+
+@register_strategy
+class GlobalVisionStrategy:
+    """Global-vision grid gathering ([SN14] flavour): everyone steps
+    toward the enclosing-rectangle center.  Connectivity is not part of
+    this model, so the check is always off."""
+
+    key = "global"
+    description = "global-vision gathering toward the bounding-box center"
+    schedulers = ("fsync",)
+    default_scheduler = "fsync"
+    compare_label = "global"
+
+    def resolve(self, scenario: Scenario, ctx: SimContext) -> List[Any]:
+        return _grid_cells(scenario, ctx)
+
+    def build(self, resolved: Any, ctx: SimContext) -> FsyncProgram:
+        controller = GlobalVisionGatherer()
+        return FsyncProgram(
+            state=SwarmState(resolved),
+            controller=controller,
+            check_connectivity=False,
+            extras_fn=lambda: {"total_moves": controller.total_moves},
+        )
+
+    def compare_scenario(self, n: int) -> Scenario:
+        return Scenario(family="line", n=n)
+
+
+@register_strategy
+class AsyncGreedyStrategy:
+    """The Section 1 remark: a simple greedy achieves O(n) rounds under
+    a fair ASYNC scheduler.  ``simulate(seed=...)`` seeds the scheduler's
+    activation order."""
+
+    key = "async_greedy"
+    description = "greedy gathering under the fair ASYNC scheduler"
+    schedulers = ("async",)
+    default_scheduler = "async"
+    compare_label = "async"
+
+    def resolve(self, scenario: Scenario, ctx: SimContext) -> List[Any]:
+        return _grid_cells(scenario, ctx)
+
+    def build(self, resolved: Any, ctx: SimContext) -> AsyncProgram:
+        return AsyncProgram(
+            state=SwarmState(resolved),
+            controller=AsyncGreedyGatherer(),
+            check_connectivity=ctx.check_connectivity,
+        )
+
+    def compare_scenario(self, n: int) -> Scenario:
+        return Scenario(family="blob", n=n, seed=n)
+
+
+# ----------------------------------------------------------------------
+# Self-clocked FSYNC baselines (Euclidean, chains)
+# ----------------------------------------------------------------------
+class _EuclideanProgram:
+    """Drives [DKL+11] go-to-center rounds over a continuous swarm."""
+
+    def __init__(
+        self,
+        swarm: EuclideanSwarm,
+        gather_diameter: float,
+        record_diameter: bool,
+    ) -> None:
+        self.swarm = swarm
+        self.gatherer = GoToCenterGatherer()
+        self.gather_diameter = gather_diameter
+        self.record_diameter = record_diameter
+        self.diameters: List[float] = []
+        self.robots_initial = len(swarm)
+
+    def done(self) -> bool:
+        return self.swarm.diameter() <= self.gather_diameter
+
+    def default_budget(self) -> int:
+        # the legacy gather_euclidean budget: generous Theta(n^2)
+        n = self.robots_initial
+        return 300 * n * n + 1000
+
+    def step(
+        self, round_index: int, metrics: MetricsLog, events: EventLog
+    ) -> None:
+        self.gatherer.step(self.swarm)
+        diameter = self.swarm.diameter()
+        if self.record_diameter:
+            self.diameters.append(diameter)
+        metrics.record(
+            RoundMetrics(
+                round_index=round_index,
+                robots=len(self.swarm),
+                merged=0,
+                diameter=diameter,
+            )
+        )
+
+    def view(self) -> StateView:
+        return StateView(
+            cells=tuple(tuple(p) for p in self.swarm.pos.tolist())
+        )
+
+    def result_fields(self) -> Dict[str, Any]:
+        return {
+            "robots_final": len(self.swarm),
+            "final_state": self.swarm,
+            "diameters": list(self.diameters),
+            "gather_diameter": self.gather_diameter,
+        }
+
+
+@register_strategy
+class EuclideanStrategy:
+    """[DKL+11] go-to-center in the Euclidean plane (Theta(n^2) FSYNC).
+
+    Scenario families: ``"circle"`` (the tight instance) or any grid
+    family (cells become unit-spaced points, so 4-connected swarms stay
+    unit-disk connected).  Options: ``view_range`` (default 1.0),
+    ``gather_diameter`` (default 1.0), ``record_diameter`` (collect the
+    per-round diameter series into ``extras["diameters"]``)."""
+
+    key = "euclidean"
+    description = "[DKL+11] Euclidean go-to-center (Theta(n^2) FSYNC)"
+    schedulers = ("fsync",)
+    default_scheduler = "fsync"
+    compare_label = "euclid"
+
+    def resolve(self, scenario: Scenario, ctx: SimContext) -> List[Any]:
+        if scenario.payload is not None:
+            return [tuple(p) for p in scenario.payload]
+        if scenario.family == "circle":
+            return worst_case_circle(scenario.n)
+        cells = _grid_cells(scenario, ctx)
+        return [(float(x), float(y)) for (x, y) in cells]
+
+    def build(self, resolved: Any, ctx: SimContext) -> _EuclideanProgram:
+        swarm = EuclideanSwarm(
+            resolved, ctx.options.pop("view_range", 1.0)
+        )
+        if not swarm.is_connected():
+            raise ValueError("initial Euclidean swarm must be connected")
+        return _EuclideanProgram(
+            swarm,
+            ctx.options.pop("gather_diameter", 1.0),
+            ctx.options.pop("record_diameter", False),
+        )
+
+    def compare_scenario(self, n: int) -> Scenario:
+        return Scenario(family="circle", n=n)
+
+
+class _ChainProgramBase:
+    """Shared stepping for the chain gatherers: both wrap a stepper
+    exposing ``.chain`` (the current cell list) and ``.step()`` (one
+    FSYNC round); a shrinking chain is the merge analog, recorded as
+    ``merge`` events and per-round metrics."""
+
+    def __init__(self, stepper: Any) -> None:
+        self.stepper = stepper
+        self.robots_initial = len(stepper.chain)
+
+    def step(
+        self, round_index: int, metrics: MetricsLog, events: EventLog
+    ) -> None:
+        before = len(self.stepper.chain)
+        self.stepper.step()
+        chain = self.stepper.chain
+        removed = before - len(chain)
+        if removed:
+            events.emit(round_index, "merge", removed=removed)
+        metrics.record(
+            RoundMetrics(
+                round_index=round_index,
+                robots=len(chain),
+                merged=removed,
+                diameter=_span(chain),
+            )
+        )
+
+    def view(self) -> StateView:
+        return StateView(cells=tuple(self.stepper.chain))
+
+    def result_fields(self) -> Dict[str, Any]:
+        chain = self.stepper.chain
+        return {
+            "robots_final": len(chain),
+            "final_state": list(chain),
+        }
+
+
+class _ChainProgram(_ChainProgramBase):
+    """Drives [KM09]-flavoured chain shortening rounds."""
+
+    stepper: ChainShortener
+
+    def done(self) -> bool:
+        return self.stepper.is_minimal()
+
+    def default_budget(self) -> int:
+        return 50 * self.robots_initial + 100
+
+    def result_fields(self) -> Dict[str, Any]:
+        fields = super().result_fields()
+        fields.update(
+            initial_length=self.robots_initial,
+            final_length=fields["robots_final"],
+            optimal_length=self.stepper.optimal_length,
+        )
+        return fields
+
+
+@register_strategy
+class ChainStrategy:
+    """Open communication-chain shortening between fixed endpoints
+    ([KM09] Hopper flavour).  ``gathered`` means "reached the minimal
+    chain".  Scenario families: ``"hairpin"`` (the linear-round
+    workload) and ``"zigzag"``; a payload is the chain itself."""
+
+    key = "chain"
+    description = "[KM09]-flavoured open-chain shortening (FSYNC)"
+    schedulers = ("fsync",)
+    default_scheduler = "fsync"
+    compare_label = "chain"
+
+    def resolve(self, scenario: Scenario, ctx: SimContext) -> List[Any]:
+        if scenario.payload is not None:
+            return list(scenario.payload)
+        if scenario.family == "hairpin":
+            # hairpin_chain(depth) has 2*depth + 3 links
+            return hairpin_chain(max(1, (scenario.n - 3) // 2))
+        if scenario.family == "zigzag":
+            # zigzag_chain(steps) has ~7 links per step
+            return zigzag_chain(max(1, scenario.n // 7))
+        raise ValueError(
+            f"chain strategy knows families 'hairpin'/'zigzag', "
+            f"not {scenario.family!r}; pass the chain as payload instead"
+        )
+
+    def build(self, resolved: Any, ctx: SimContext) -> _ChainProgram:
+        return _ChainProgram(ChainShortener(resolved))
+
+    def compare_scenario(self, n: int) -> Scenario:
+        return Scenario(family="hairpin", n=n)
+
+
+class _ClosedChainProgram(_ChainProgramBase):
+    """Drives the randomized closed-chain gatherer ([ACLF+16])."""
+
+    stepper: ClosedChainGatherer
+
+    def done(self) -> bool:
+        return self.stepper.is_gathered()
+
+    def default_budget(self) -> int:
+        return 400 * self.robots_initial + 400
+
+
+@register_strategy
+class ClosedChainStrategy:
+    """The paper's predecessor: randomized closed-chain gathering
+    ([ACLF+16], simplified).  ``simulate(seed=...)`` seeds the per-round
+    coins.  Scenario family: ``"rectangle"`` (a rectangle-boundary
+    chain); a payload is the cyclic chain itself."""
+
+    key = "closed_chain"
+    description = "[ACLF+16] randomized closed-chain gathering (FSYNC)"
+    schedulers = ("fsync",)
+    default_scheduler = "fsync"
+    compare_label = "closed"
+
+    def resolve(self, scenario: Scenario, ctx: SimContext) -> List[Any]:
+        if scenario.payload is not None:
+            return list(scenario.payload)
+        if scenario.family == "rectangle":
+            # rectangle_chain(s, s) has 4*s - 4 links
+            side = max(2, scenario.n // 4 + 1)
+            return rectangle_chain(side, side)
+        raise ValueError(
+            f"closed_chain strategy knows family 'rectangle', not "
+            f"{scenario.family!r}; pass the cyclic chain as payload instead"
+        )
+
+    def build(self, resolved: Any, ctx: SimContext) -> _ClosedChainProgram:
+        seed = ctx.seed if ctx.seed is not None else 0
+        return _ClosedChainProgram(
+            ClosedChainGatherer(resolved, seed=seed)
+        )
+
+    def compare_scenario(self, n: int) -> Scenario:
+        return Scenario(family="rectangle", n=n)
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+def _snapshot(state: Any) -> Any:
+    if hasattr(state, "frozen"):
+        return state.frozen()
+    return tuple(sorted(state.cells if hasattr(state, "cells") else state))
+
+
+def _chain_hooks(
+    hooks: List[Callable[[int, Any], None]],
+) -> Callable[[int, Any], None]:
+    if len(hooks) == 1:
+        return hooks[0]
+
+    def call_all(round_index: int, state: Any) -> None:
+        for hook in hooks:
+            hook(round_index, state)
+
+    return call_all
+
+
+def simulate(
+    scenario: Any,
+    *,
+    strategy: str = "grid",
+    scheduler: Optional[str] = None,
+    config: Optional[AlgorithmConfig] = None,
+    max_rounds: Optional[int] = None,
+    seed: Optional[int] = None,
+    check_connectivity: bool = True,
+    track_boundary: bool = False,
+    on_round: Optional[Callable[[int, Any], None]] = None,
+    record_trajectory: bool = False,
+    trace: Optional[Any] = None,
+    trace_meta: Optional[Dict[str, Any]] = None,
+    **options: Any,
+) -> RunResult:
+    """Run any registered workload under any compatible scheduler.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`Scenario` (family + size, or explicit payload) or a
+        raw sequence of cells/points/chain links.
+    strategy, scheduler:
+        Registry keys (see :data:`STRATEGIES` / :data:`SCHEDULERS`);
+        ``scheduler`` defaults to the strategy's canonical time model.
+    config:
+        :class:`AlgorithmConfig` for the grid strategy (others ignore).
+    seed:
+        One seed for everything stochastic: scenario generation (unless
+        the Scenario pins its own), the ASYNC activation order, the
+        closed chain's coins.  ``None`` keeps each component's legacy
+        default, so unseeded calls are bit-identical to the old entry
+        points.
+    on_round / record_trajectory / trace:
+        Per-round hooks: a callback ``(round_index, state)``; collect
+        :attr:`RunResult.trajectory` snapshots; write a JSONL trace to
+        the given file handle (with strategy/scheduler/family metadata).
+    options:
+        Strategy-specific keywords (``view_range``, ``controller``, ...)
+        — unknown ones raise, keeping call sites honest.
+    """
+    try:
+        strat = STRATEGIES[strategy]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    scheduler_key = (
+        scheduler if scheduler is not None else strat.default_scheduler
+    )
+    try:
+        sched = SCHEDULERS[scheduler_key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {scheduler_key!r}; "
+            f"available: {sorted(SCHEDULERS)}"
+        ) from None
+    if scheduler_key not in strat.schedulers:
+        raise ValueError(
+            f"strategy {strategy!r} supports schedulers "
+            f"{strat.schedulers}, not {scheduler_key!r}"
+        )
+
+    sc = _as_scenario(scenario)
+    ctx = SimContext(
+        config=config,
+        max_rounds=max_rounds,
+        seed=seed,
+        check_connectivity=check_connectivity,
+        track_boundary=track_boundary,
+        options=dict(options),
+    )
+    resolved = strat.resolve(sc, ctx)
+    initial_diameter = _span(resolved)
+
+    hooks: List[Callable[[int, Any], None]] = []
+    trajectory: Optional[List[Any]] = None
+    if record_trajectory:
+        trajectory = []
+        frames = trajectory  # local alias for the closure
+
+        def record(round_index: int, state: Any) -> None:
+            frames.append(_snapshot(state))
+
+        hooks.append(record)
+    if trace is not None:
+        meta: Dict[str, Any] = {
+            "strategy": strategy,
+            "scheduler": scheduler_key,
+        }
+        if sc.family is not None:
+            meta["family"] = sc.family
+        if sc.n is not None:
+            meta["n"] = sc.n
+        meta.update(trace_meta or {})
+        hooks.append(TraceRecorder(trace, meta=meta))
+    if on_round is not None:
+        hooks.append(on_round)
+    ctx.on_round = _chain_hooks(hooks) if hooks else None
+
+    program = strat.build(resolved, ctx)
+    if ctx.options:
+        raise TypeError(
+            f"strategy {strategy!r} got unknown options "
+            f"{sorted(ctx.options)}"
+        )
+    result = sched.drive(program, ctx)
+    result.strategy = strategy
+    result.scheduler = scheduler_key
+    result.trajectory = trajectory
+    result.extras.setdefault("initial_diameter", initial_diameter)
+    return result

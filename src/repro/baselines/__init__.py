@@ -22,6 +22,7 @@ from repro.baselines.euclidean import (
     GoToCenterGatherer,
     gather_euclidean,
     smallest_enclosing_circle,
+    worst_case_circle,
 )
 from repro.baselines.global_grid import GlobalVisionGatherer, gather_global
 from repro.baselines.async_greedy import AsyncGreedyGatherer, gather_async
@@ -42,6 +43,7 @@ __all__ = [
     "GoToCenterGatherer",
     "gather_euclidean",
     "smallest_enclosing_circle",
+    "worst_case_circle",
     "GlobalVisionGatherer",
     "gather_global",
     "AsyncGreedyGatherer",

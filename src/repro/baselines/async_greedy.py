@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.engine.async_scheduler import AsyncEngine, AsyncResult
+from repro.engine.async_scheduler import AsyncResult
 from repro.grid.geometry import Cell, add, neighbors4, perpendicular, sub
 from repro.grid.occupancy import SwarmState
 
@@ -49,11 +49,19 @@ def gather_async(
     max_rounds: Optional[int] = None,
     check_connectivity: bool = True,
 ) -> AsyncResult:
-    """Gather under the fair ASYNC scheduler; one robot active at a time."""
-    engine = AsyncEngine(
-        SwarmState(cells),
-        AsyncGreedyGatherer(),
+    """Gather under the fair ASYNC scheduler; one robot active at a time.
+
+    .. deprecated:: 1.1
+        Thin shim over ``simulate(strategy="async_greedy")`` — prefer
+        :func:`repro.api.simulate`.
+    """
+    from repro.api import simulate
+
+    result = simulate(
+        cells,
+        strategy="async_greedy",
         seed=seed,
+        max_rounds=max_rounds,
         check_connectivity=check_connectivity,
     )
-    return engine.run(max_rounds=max_rounds)
+    return AsyncResult.from_run_result(result)

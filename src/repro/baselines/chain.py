@@ -116,8 +116,23 @@ class ChainShortener:
 def shorten_chain(
     chain: Sequence[Cell], *, max_rounds: Optional[int] = None
 ) -> ChainResult:
-    """Convenience wrapper: shorten ``chain`` to minimal length."""
-    return ChainShortener(chain).run(max_rounds=max_rounds)
+    """Convenience wrapper: shorten ``chain`` to minimal length.
+
+    .. deprecated:: 1.1
+        Thin shim over ``simulate(strategy="chain")`` — prefer
+        :func:`repro.api.simulate`, whose :class:`RunResult` also carries
+        per-round metrics and events.
+    """
+    from repro.api import simulate
+
+    result = simulate(chain, strategy="chain", max_rounds=max_rounds)
+    return ChainResult(
+        shortened=result.gathered,
+        rounds=result.rounds,
+        initial_length=result.extras["initial_length"],
+        final_length=result.extras["final_length"],
+        optimal_length=result.extras["optimal_length"],
+    )
 
 
 def hairpin_chain(depth: int, width: int = 2) -> List[Cell]:

@@ -181,8 +181,24 @@ class ClosedChainGatherer:
 def gather_closed_chain(
     chain: Sequence[Cell], *, seed: int = 0, max_rounds: Optional[int] = None
 ) -> ClosedChainResult:
-    """Gather a closed chain into a 2x2 square."""
-    return ClosedChainGatherer(chain, seed=seed).run(max_rounds=max_rounds)
+    """Gather a closed chain into a 2x2 square.
+
+    .. deprecated:: 1.1
+        Thin shim over ``simulate(strategy="closed_chain")`` — prefer
+        :func:`repro.api.simulate`, whose :class:`RunResult` also carries
+        per-round metrics and events.
+    """
+    from repro.api import simulate
+
+    result = simulate(
+        chain, strategy="closed_chain", seed=seed, max_rounds=max_rounds
+    )
+    return ClosedChainResult(
+        gathered=result.gathered,
+        rounds=result.rounds,
+        robots_initial=result.robots_initial,
+        robots_final=result.robots_final,
+    )
 
 
 def rectangle_chain(width: int, height: int) -> List[Cell]:

@@ -189,6 +189,19 @@ class GoToCenterGatherer:
         swarm.pos = new
 
 
+def worst_case_circle(n: int) -> List[Point]:
+    """[DKL+11]'s tight instance: ``n`` robots on a circle sized so that
+    only immediate neighbors see each other (unit visibility)."""
+    r = n * 0.9 / (2 * math.pi)
+    return [
+        (
+            r * math.cos(2 * math.pi * i / n),
+            r * math.sin(2 * math.pi * i / n),
+        )
+        for i in range(n)
+    ]
+
+
 def gather_euclidean(
     positions: Sequence[Point],
     *,
@@ -199,23 +212,26 @@ def gather_euclidean(
 ) -> EuclideanResult:
     """Run go-to-center until the swarm's diameter falls below
     ``gather_diameter`` (robots within one viewing disk count as gathered —
-    the merge analog of the continuous model)."""
-    swarm = EuclideanSwarm(positions, view_range)
-    if not swarm.is_connected():
-        raise ValueError("initial Euclidean swarm must be connected")
-    n = len(swarm)
-    budget = max_rounds if max_rounds is not None else 300 * n * n + 1000
-    gatherer = GoToCenterGatherer()
-    rounds = 0
-    diameters: List[float] = []
-    while swarm.diameter() > gather_diameter and rounds < budget:
-        gatherer.step(swarm)
-        rounds += 1
-        if record_diameter:
-            diameters.append(swarm.diameter())
+    the merge analog of the continuous model).
+
+    .. deprecated:: 1.1
+        Thin shim over ``simulate(strategy="euclidean")`` — prefer
+        :func:`repro.api.simulate`, whose :class:`RunResult` also carries
+        per-round metrics and events.
+    """
+    from repro.api import simulate
+
+    result = simulate(
+        positions,
+        strategy="euclidean",
+        max_rounds=max_rounds,
+        view_range=view_range,
+        gather_diameter=gather_diameter,
+        record_diameter=record_diameter,
+    )
     return EuclideanResult(
-        gathered=swarm.diameter() <= gather_diameter,
-        rounds=rounds,
-        robots=n,
-        diameters=diameters,
+        gathered=result.gathered,
+        rounds=result.rounds,
+        robots=result.robots_initial,
+        diameters=result.extras["diameters"],
     )

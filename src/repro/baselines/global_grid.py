@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
-from repro.engine.scheduler import FsyncEngine, GatherResult
+from repro.engine.scheduler import GatherResult
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
 
@@ -59,10 +59,10 @@ def gather_global(
 ) -> GatherResult:
     """Gather with global vision; returns the standard result object.
 
-    The controller's ``total_moves`` (the [SN14] cost measure) is available
-    on the result as ``result.events`` is unused here — read it from the
-    returned controller via :class:`GlobalVisionGatherer` if needed, or use
-    :func:`gather_global_with_moves`.
+    .. deprecated:: 1.1
+        Thin shim over ``simulate(strategy="global")`` — prefer
+        :func:`repro.api.simulate`, whose :class:`RunResult` carries the
+        [SN14] cost measure in ``extras["total_moves"]``.
     """
     result, _ = gather_global_with_moves(cells, max_rounds=max_rounds)
     return result
@@ -71,10 +71,15 @@ def gather_global(
 def gather_global_with_moves(
     cells, *, max_rounds: Optional[int] = None
 ) -> tuple[GatherResult, int]:
-    """Like :func:`gather_global` but also returns total cell moves."""
-    controller = GlobalVisionGatherer()
-    engine = FsyncEngine(
-        SwarmState(cells), controller, check_connectivity=False
+    """Like :func:`gather_global` but also returns total cell moves.
+
+    .. deprecated:: 1.1
+        Thin shim over ``simulate(strategy="global")``.
+    """
+    from repro.api import simulate
+
+    result = simulate(cells, strategy="global", max_rounds=max_rounds)
+    return (
+        GatherResult.from_run_result(result),
+        result.extras["total_moves"],
     )
-    result = engine.run(max_rounds=max_rounds)
-    return result, controller.total_moves

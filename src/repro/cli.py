@@ -1,43 +1,79 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every simulation command runs through the unified facade
+(:func:`repro.api.simulate`): ``--strategy``/``--scheduler`` select any
+registered workload/time model, ``--seed`` pins everything stochastic,
+and ``--json`` prints a machine-readable summary to stdout.
+
 Commands
 --------
-``gather``   run the algorithm on a generated swarm, print a summary
+``gather``   run one strategy on a generated swarm, print a summary
 ``watch``    print per-round frames while gathering (terminal animation)
 ``figures``  regenerate the paper's Figures 1-21
 ``scale``    run the E1 scaling experiment for one family (``--jobs N``
              fans the sizes out over a process pool)
 ``ablate``   sweep one AlgorithmConfig field (parallel with ``--jobs``)
-``compare``  grid vs Euclidean vs ASYNC vs global-vision round counts
+``compare``  round counts across strategies, each on its worst-case
+             family (E2-E4; ``--strategies`` picks the columns)
 """
 
 from __future__ import annotations
 
 import argparse
-import math
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.experiments import run_ablation, run_scaling
 from repro.analysis.fitting import fit_linear, scaling_exponent
 from repro.analysis.tables import format_table
-from repro.core.algorithm import GatherOnGrid, gather
+from repro.api import SCHEDULERS, STRATEGIES, simulate
+from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
-from repro.engine.scheduler import FsyncEngine
-from repro.grid.occupancy import SwarmState
-from repro.swarms.generators import FAMILIES, family
+from repro.engine.protocols import Scenario, SimContext
+from repro.swarms.generators import FAMILIES
 from repro.viz.ascii_art import render_with_marks
+
+#: Families resolvable by at least one strategy: the swarm generators
+#: plus the strategy-specific ones (Euclidean worst case, chains).
+FAMILY_CHOICES = sorted(FAMILIES) + [
+    "circle",
+    "hairpin",
+    "zigzag",
+    "rectangle",
+]
+
+#: Default ``compare`` columns — the E2-E4 lineup, in the legacy order.
+COMPARE_DEFAULT = ["grid", "euclidean", "async_greedy", "global"]
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--family",
         default="ring",
-        choices=sorted(FAMILIES),
+        choices=FAMILY_CHOICES,
         help="swarm family (default: ring)",
     )
     p.add_argument(
         "-n", type=int, default=100, help="target robot count (default 100)"
+    )
+    p.add_argument(
+        "--strategy",
+        default="grid",
+        choices=sorted(STRATEGIES),
+        help="registered strategy to run (default: grid)",
+    )
+    p.add_argument(
+        "--scheduler",
+        default=None,
+        choices=sorted(SCHEDULERS),
+        help="time model (default: the strategy's canonical scheduler)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for stochastic families/schedulers (reproducible runs)",
     )
     p.add_argument(
         "--radius", type=int, default=None, help="viewing radius override"
@@ -52,45 +88,103 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _fail(exc: BaseException) -> int:
+    """Clean CLI error for invalid strategy/family/scheduler combos —
+    argparse validates each flag alone, the facade the combination."""
+    msg = exc.args[0] if exc.args else str(exc)
+    print(f"error: {msg}", file=sys.stderr)
+    return 2
+
+
 def _config(args: argparse.Namespace) -> AlgorithmConfig:
     kwargs = {}
-    if getattr(args, "radius", None) is not None:
-        kwargs["viewing_radius"] = args.radius
-        kwargs["max_bump_length"] = max(1, (args.radius - 2) // 2)
     if getattr(args, "interval", None) is not None:
         kwargs["run_start_interval"] = args.interval
     if getattr(args, "full_scan", False):
         kwargs["incremental"] = False
+    radius = getattr(args, "radius", None)
+    if radius is not None:
+        return AlgorithmConfig.with_radius(radius, **kwargs)
     return AlgorithmConfig(**kwargs)
 
 
 def cmd_gather(args: argparse.Namespace) -> int:
-    cells = family(args.family, args.n)
-    result = gather(cells, _config(args))
-    print(
-        f"{args.family}(n={result.robots_initial}): gathered="
-        f"{result.gathered} rounds={result.rounds} "
-        f"rounds/n={result.rounds_per_robot():.2f}"
-    )
-    print("events:", result.events.counts())
+    try:
+        result = simulate(
+            Scenario(family=args.family, n=args.n),
+            strategy=args.strategy,
+            scheduler=args.scheduler,
+            config=_config(args),
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        return _fail(exc)
+    if args.json:
+        print(json.dumps({"family": args.family, **result.summary()}))
+    else:
+        print(
+            f"{args.family}(n={result.robots_initial}): gathered="
+            f"{result.gathered} rounds={result.rounds} "
+            f"rounds/n={result.rounds_per_robot():.2f}"
+        )
+        print("events:", result.events.counts())
     return 0 if result.gathered else 1
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
-    cells = family(args.family, args.n)
-    ctrl = GatherOnGrid(_config(args))
-    engine = FsyncEngine(SwarmState(cells), ctrl)
-    rounds = 0
-    while not engine.state.is_gathered() and rounds < args.max_rounds:
-        marks = {r.robot: "R" for r in ctrl.run_manager.runs.values()}
-        print(
-            f"\n--- round {rounds}: {len(engine.state)} robots, "
-            f"{ctrl.active_run_count} runs ---"
+    cfg = _config(args)
+    options = {}
+    ctrl: Optional[GatherOnGrid] = None
+    if args.strategy == "grid":
+        ctrl = GatherOnGrid(cfg)
+        options["controller"] = ctrl
+
+    # Resolve the scenario through the strategy so chain/euclidean
+    # family names work here too, then pass the cells as an explicit
+    # payload (the initial frame and the run must agree).
+    try:
+        cells = STRATEGIES[args.strategy].resolve(
+            Scenario(family=args.family, n=args.n),
+            SimContext(seed=args.seed),
         )
-        print(render_with_marks(engine.state, marks))
-        engine.step()
-        rounds += 1
-    print(f"\ngathered after {rounds} rounds")
+    except (KeyError, ValueError) as exc:
+        return _fail(exc)
+    if any(
+        not (isinstance(x, int) and isinstance(y, int)) for x, y in cells
+    ):
+        return _fail(
+            ValueError(
+                f"watch renders integer grid cells; strategy "
+                f"{args.strategy!r} has continuous state"
+            )
+        )
+    print(f"--- round 0: {len(set(cells))} robots ---")
+    print(render_with_marks(sorted(set(cells)), {}))
+
+    def show(round_index: int, state) -> None:
+        marks = (
+            {r.robot: "R" for r in ctrl.run_manager.runs.values()}
+            if ctrl is not None
+            else {}
+        )
+        runs = f", {ctrl.active_run_count} runs" if ctrl is not None else ""
+        print(f"\n--- round {round_index + 1}: {len(state)} robots{runs} ---")
+        print(render_with_marks(state, marks))
+
+    try:
+        result = simulate(
+            Scenario(payload=cells),
+            strategy=args.strategy,
+            scheduler=args.scheduler,
+            config=cfg,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            on_round=show,
+            **options,
+        )
+    except (KeyError, ValueError) as exc:
+        return _fail(exc)
+    print(f"\ngathered after {result.rounds} rounds")
     return 0
 
 
@@ -109,20 +203,50 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_scale(args: argparse.Namespace) -> int:
     sizes = args.sizes or [args.n, args.n * 2, args.n * 4]
-    points = run_scaling(
-        args.family,
-        sizes,
-        _config(args),
-        check_connectivity=False,
-        workers=args.jobs,
-    )
-    rows = [
-        (p.n, p.diameter, p.rounds, f"{p.rounds_per_n:.2f}") for p in points
-    ]
+    try:
+        points = run_scaling(
+            args.family,
+            sizes,
+            _config(args),
+            strategy=args.strategy,
+            check_connectivity=False,
+            seeds=(
+                [args.seed] * len(sizes) if args.seed is not None else None
+            ),
+            workers=args.jobs,
+        )
+    except (KeyError, ValueError) as exc:
+        return _fail(exc)
     ns = [p.n for p in points]
     rnds = [max(p.rounds, 1) for p in points]
     exp = scaling_exponent(ns, rnds)
     lin = fit_linear(ns, rnds)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "family": args.family,
+                    "strategy": args.strategy,
+                    "exponent": round(exp, 4),
+                    "slope": round(lin.coefficients[0], 4),
+                    "r_squared": round(lin.r_squared, 4),
+                    "points": [
+                        {
+                            "n": p.n,
+                            "diameter": p.diameter,
+                            "rounds": p.rounds,
+                            "gathered": p.gathered,
+                            "merges": p.merges,
+                        }
+                        for p in points
+                    ],
+                }
+            )
+        )
+        return 0
+    rows = [
+        (p.n, p.diameter, p.rounds, f"{p.rounds_per_n:.2f}") for p in points
+    ]
     print(
         format_table(
             ["n", "diameter", "rounds", "rounds/n"],
@@ -159,30 +283,43 @@ def cmd_ablate(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    from repro.baselines.async_greedy import gather_async
-    from repro.baselines.euclidean import gather_euclidean
-    from repro.baselines.global_grid import gather_global_with_moves
-    from repro.swarms.generators import line, random_blob
-
+    strategies = args.strategies or COMPARE_DEFAULT
+    sizes = args.sizes or [16, 32, 64]
     rows = []
-    for n in args.sizes or [16, 32, 64]:
-        g = gather(line(n), check_connectivity=False)
-        r = n * 0.9 / (2 * math.pi)
-        e = gather_euclidean(
-            [
-                (
-                    r * math.cos(2 * math.pi * i / n),
-                    r * math.sin(2 * math.pi * i / n),
-                )
-                for i in range(n)
-            ]
+    for n in sizes:
+        row: List = [n]
+        for key in strategies:
+            strat = STRATEGIES[key]
+            result = simulate(
+                strat.compare_scenario(n),
+                strategy=key,
+                check_connectivity=False,
+                seed=args.seed,
+            )
+            row.append(result.rounds)
+        rows.append(tuple(row))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "strategies": list(strategies),
+                    "rows": [
+                        {
+                            "n": row[0],
+                            **{
+                                key: rounds
+                                for key, rounds in zip(strategies, row[1:])
+                            },
+                        }
+                        for row in rows
+                    ],
+                }
+            )
         )
-        a = gather_async(random_blob(n, seed=n), check_connectivity=False)
-        gl, _ = gather_global_with_moves(line(n))
-        rows.append((n, g.rounds, e.rounds, a.rounds, gl.rounds))
+        return 0
     print(
         format_table(
-            ["n", "grid", "euclid", "async", "global"],
+            ["n"] + [STRATEGIES[k].compare_label for k in strategies],
             rows,
             title="rounds to gather, worst-case family per model",
         )
@@ -199,6 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("gather", help="gather one swarm, print a summary")
     _add_common(p)
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
     p.set_defaults(fn=cmd_gather)
 
     p = sub.add_parser("watch", help="per-round terminal animation")
@@ -219,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="parallel worker processes (0 = one per CPU; default serial)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable points"
     )
     p.set_defaults(fn=cmd_scale)
 
@@ -243,6 +386,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="E2-E4 baseline comparison")
     p.add_argument("--sizes", type=int, nargs="+")
+    p.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=sorted(STRATEGIES),
+        default=None,
+        help=f"strategies to compare (default: {' '.join(COMPARE_DEFAULT)})",
+    )
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable rows"
+    )
     p.set_defaults(fn=cmd_compare)
     return parser
 

@@ -24,7 +24,7 @@ from repro.core.patterns import plan_merges
 from repro.core.quasiline import run_start_sites
 from repro.core.runs import RunManager
 from repro.engine.events import EventLog
-from repro.engine.scheduler import FsyncEngine, GatherResult
+from repro.engine.scheduler import GatherResult
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
 from repro.grid.ring import RingSet
@@ -157,16 +157,22 @@ def gather(
     ``cells`` is any iterable of ``(x, y)`` robot positions forming a
     connected swarm.  See :class:`repro.core.config.AlgorithmConfig` for
     the paper's constants and the ablation knobs.
+
+    Thin shim over ``simulate(strategy="grid")`` — the facade
+    (:func:`repro.api.simulate`) is the canonical entry point and the
+    one that also runs every baseline; this wrapper stays as the
+    quickstart spelling and returns the legacy :class:`GatherResult`
+    (same metrics/events/state objects, byte-identical trajectories).
     """
-    controller = GatherOnGrid(cfg)
-    # The engine adopts the controller's EventLog (it is shared), so
-    # ``result.events`` is a single round-ordered log holding both the
-    # controller's events and the engine's terminal event.
-    engine = FsyncEngine(
-        SwarmState(cells),
-        controller,
+    from repro.api import simulate
+
+    result = simulate(
+        cells,
+        strategy="grid",
+        config=cfg,
+        max_rounds=max_rounds,
         check_connectivity=check_connectivity,
         track_boundary=track_boundary,
         on_round=on_round,
     )
-    return engine.run(max_rounds=max_rounds)
+    return GatherResult.from_run_result(result)

@@ -67,6 +67,23 @@ class AlgorithmConfig:
     #: escape hatch.
     incremental: bool = True
 
+    @classmethod
+    def with_radius(cls, viewing_radius: int, **overrides) -> "AlgorithmConfig":
+        """A config for a non-default viewing radius with the dependent
+        fields derived consistently: the maximum bump length is the
+        largest ``k`` satisfying the locality budget ``2k + 2 <= r``
+        (DESIGN.md Section 3), floored at the always-safe ``k = 1``.
+
+        Extra keyword overrides are passed through (and may override the
+        derived ``max_bump_length`` as well).
+        """
+        kwargs = {
+            "viewing_radius": viewing_radius,
+            "max_bump_length": max(1, (viewing_radius - 2) // 2),
+        }
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
     def __post_init__(self) -> None:
         if self.viewing_radius < 5:
             raise ValueError("viewing radius must be >= 5 (paper needs 11+)")

@@ -14,6 +14,13 @@ from repro.engine.errors import (
 )
 from repro.engine.events import Event, EventLog
 from repro.engine.metrics import MetricsLog, RoundMetrics
+from repro.engine.protocols import (
+    RunResult,
+    Scenario,
+    Scheduler,
+    SimContext,
+    Strategy,
+)
 from repro.engine.scheduler import Controller, FsyncEngine, GatherResult
 from repro.engine.async_scheduler import AsyncController, AsyncEngine
 from repro.engine.termination import default_round_budget, is_gathered
@@ -26,6 +33,11 @@ __all__ = [
     "EventLog",
     "MetricsLog",
     "RoundMetrics",
+    "RunResult",
+    "Scenario",
+    "Scheduler",
+    "SimContext",
+    "Strategy",
     "Controller",
     "FsyncEngine",
     "GatherResult",

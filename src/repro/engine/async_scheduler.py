@@ -11,8 +11,8 @@ round; each activation sees the *current* (not snapshotted) state.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Protocol
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
 
 from repro.engine.errors import ConnectivityViolation
 from repro.engine.events import EventLog
@@ -42,6 +42,26 @@ class AsyncResult:
     robots_initial: int
     robots_final: int
     metrics: MetricsLog
+    #: Round-ordered event log (per-round ``merge`` events plus the
+    #: terminal ``gathered``/``budget_exhausted``) — parity with
+    #: :class:`repro.engine.scheduler.GatherResult`.
+    events: EventLog = field(default_factory=EventLog)
+    final_state: Optional[SwarmState] = None
+
+    @classmethod
+    def from_run_result(cls, result) -> "AsyncResult":
+        """Repackage a facade :class:`~repro.engine.protocols.RunResult`
+        (used by the ``gather_async`` shim)."""
+        return cls(
+            gathered=result.gathered,
+            rounds=result.rounds,
+            activations=result.activations,
+            robots_initial=result.robots_initial,
+            robots_final=result.robots_final,
+            metrics=result.metrics,
+            events=result.events,
+            final_state=result.final_state,
+        )
 
 
 class AsyncEngine:
@@ -61,6 +81,7 @@ class AsyncEngine:
         seed: int = 0,
         check_connectivity: bool = True,
         incremental_connectivity: bool = True,
+        on_round: Optional[Callable[[int, SwarmState], None]] = None,
     ) -> None:
         if len(state) == 0:
             raise ValueError("cannot simulate an empty swarm")
@@ -80,10 +101,12 @@ class AsyncEngine:
         #: identical either way — the certificate is sound, and on
         #: inconclusive windows the engine falls back to the full BFS.
         self.incremental_connectivity = incremental_connectivity
+        self.on_round = on_round
         self.metrics = MetricsLog()
         self.events = EventLog()
         self.round_index = 0
         self.activations = 0
+        self._terminal_version: Optional[int] = None
 
     def step_round(self) -> int:
         """One fair round (every robot activated once); returns merges."""
@@ -117,6 +140,8 @@ class AsyncEngine:
                         raise ConnectivityViolation(
                             self.round_index, len(comps)
                         )
+        if merged:
+            self.events.emit(self.round_index, "merge", removed=merged)
         self.metrics.record(
             RoundMetrics(
                 round_index=self.round_index,
@@ -125,6 +150,8 @@ class AsyncEngine:
                 diameter=state.diameter_chebyshev(),
             )
         )
+        if self.on_round is not None:
+            self.on_round(self.round_index, state)
         self.round_index += 1
         return merged
 
@@ -137,6 +164,16 @@ class AsyncEngine:
         while not gathered and self.round_index < budget:
             self.step_round()
             gathered = is_gathered(self.state)
+        # Terminal event, deduplicated across resumed runs exactly like
+        # the FSYNC engine's (see FsyncEngine.run).
+        if self.state.version != self._terminal_version:
+            self.events.emit(
+                self.round_index,
+                "gathered" if gathered else "budget_exhausted",
+                rounds=self.round_index,
+                robots=len(self.state),
+            )
+            self._terminal_version = self.state.version
         return AsyncResult(
             gathered=gathered,
             rounds=self.round_index,
@@ -144,4 +181,6 @@ class AsyncEngine:
             robots_initial=n0,
             robots_final=len(self.state),
             metrics=self.metrics,
+            events=self.events,
+            final_state=self.state,
         )

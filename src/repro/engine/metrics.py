@@ -21,7 +21,9 @@ class RoundMetrics:
     round_index: int
     robots: int
     merged: int
-    diameter: int
+    #: Chebyshev diameter for grid workloads (int); the continuous
+    #: Euclidean baseline records its float diameter here.
+    diameter: float
     boundary_length: Optional[int] = None
     enclosed_area: Optional[float] = None
     active_runs: Optional[int] = None

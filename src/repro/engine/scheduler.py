@@ -78,6 +78,21 @@ class GatherResult:
         linear, the quantity experiment E1 tracks."""
         return self.rounds / max(self.robots_initial, 1)
 
+    @classmethod
+    def from_run_result(cls, result) -> "GatherResult":
+        """Repackage a facade :class:`~repro.engine.protocols.RunResult`
+        (same metrics/events/state objects — used by the legacy entry-
+        point shims)."""
+        return cls(
+            gathered=result.gathered,
+            rounds=result.rounds,
+            robots_initial=result.robots_initial,
+            robots_final=result.robots_final,
+            metrics=result.metrics,
+            events=result.events,
+            final_state=result.final_state,
+        )
+
 
 class FsyncEngine:
     """Drives a :class:`Controller` over a :class:`SwarmState`.

@@ -4,6 +4,12 @@ One row per round with the full occupied-cell set (sorted, so traces are
 canonical), plus a header row with metadata.  Traces are small for the
 paper's swarm sizes (n <= a few thousand) and make failures reproducible:
 every property-test counterexample can be dumped and replayed.
+
+The recorder is an ``on_round`` hook and works with *any* facade
+strategy: pass ``simulate(..., trace=fh)`` and it is wired up with
+strategy/scheduler/family metadata automatically; it accepts anything
+with a ``.cells`` surface (:class:`SwarmState`, the facade's
+``StateView`` over chain/Euclidean states) or a bare cell iterable.
 """
 
 from __future__ import annotations
@@ -35,12 +41,13 @@ class TraceRecorder:
                 json.dumps({"type": "header", **self.meta}) + "\n"
             )
             self._wrote_header = True
+        cells = state.cells if hasattr(state, "cells") else state
         self.fh.write(
             json.dumps(
                 {
                     "type": "round",
                     "round": round_index,
-                    "cells": sorted(state.cells),
+                    "cells": sorted(cells),
                 }
             )
             + "\n"

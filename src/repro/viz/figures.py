@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.api import simulate
 from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
 from repro.core.patterns import plan_merges
 from repro.core.quasiline import run_start_sites
-from repro.engine.scheduler import FsyncEngine
 from repro.grid.boundary import extract_boundaries
 from repro.grid.envelope import monotone_subchains, vector_chain
 from repro.grid.occupancy import SwarmState
@@ -90,17 +90,20 @@ def _fig3() -> str:
 
 
 def _fig4_8_13(rounds: int, cells: List, caption: str) -> str:
-    state = SwarmState(cells)
     ctrl = GatherOnGrid(_CFG)
-    engine = FsyncEngine(state, ctrl, check_connectivity=True)
-    frames = [f"round 0 ({len(engine.state)} robots):\n" + render(engine.state)]
-    for i in range(rounds):
-        engine.step()
+    frames = [
+        f"round 0 ({len(SwarmState(cells))} robots):\n"
+        + render(SwarmState(cells))
+    ]
+
+    def frame(i: int, state: SwarmState) -> None:
         runners = {r.robot: "R" for r in ctrl.run_manager.runs.values()}
         frames.append(
-            f"round {i + 1} ({len(engine.state)} robots, R = runner):\n"
-            + render_with_marks(engine.state, runners)
+            f"round {i + 1} ({len(state)} robots, R = runner):\n"
+            + render_with_marks(state, runners)
         )
+
+    simulate(cells, max_rounds=rounds, controller=ctrl, on_round=frame)
     return caption + "\n" + "\n\n".join(frames)
 
 
@@ -173,14 +176,11 @@ def _fig9() -> str:
     # Good pair on one line: runs from both ends meet -> merge fires.
     side = 9
     cells = ring(side)
-    state = SwarmState(cells)
-    ctrl = GatherOnGrid(_CFG)
-    engine = FsyncEngine(state, ctrl)
+    result = simulate(cells, max_rounds=8)
     log: List[str] = []
-    for i in range(8):
-        engine.step()
+    for i in range(result.rounds):
         merges = [
-            e for e in ctrl.events.of_kind("merge") if e.round_index == i
+            e for e in result.events.of_kind("merge") if e.round_index == i
         ]
         if merges:
             log.append(
@@ -191,22 +191,20 @@ def _fig9() -> str:
         "Figure 9 — converging runs enable a merge (a); runs that cannot\n"
         "enable one pass each other without reshaping (b).  Simulated on a\n"
         f"ring of side {side}:\n" + "\n".join(log[:4])
-        + "\n\nfinal state:\n" + render(engine.state)
+        + "\n\nfinal state:\n" + render(result.final_state)
     )
 
 
 def _fig10() -> str:
     cells = ring(14)
-    state = SwarmState(cells)
     ctrl = GatherOnGrid(_CFG)
-    engine = FsyncEngine(state, ctrl)
-    engine.step()
+    result = simulate(cells, max_rounds=1, controller=ctrl)
     runs = list(ctrl.run_manager.runs.values())
     marks = {r.robot: "S" for r in runs}
     return (
         "Figure 10 — multiple active runs (S) and their boundary distance\n"
         f"({len(runs)} runs after one round):\n"
-        + render_with_marks(engine.state, marks)
+        + render_with_marks(result.final_state, marks)
     )
 
 
@@ -268,13 +266,14 @@ def _fig14() -> str:
 
 def _fig15() -> str:
     cells = ring(26)
-    state = SwarmState(cells)
     ctrl = GatherOnGrid(_CFG)
-    engine = FsyncEngine(state, ctrl)
-    counts = []
-    for i in range(_CFG.run_start_interval * 2 + 2):
-        engine.step()
-        counts.append(ctrl.active_run_count)
+    counts: List[int] = []
+    simulate(
+        cells,
+        max_rounds=_CFG.run_start_interval * 2 + 2,
+        controller=ctrl,
+        on_round=lambda i, state: counts.append(ctrl.active_run_count),
+    )
     return (
         "Figure 15 — pipelining: new runs start every L = "
         f"{_CFG.run_start_interval} rounds.\nActive runs per round:\n"

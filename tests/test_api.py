@@ -1,0 +1,220 @@
+"""The unified simulation facade: registry, ``simulate()``, shims.
+
+Three layers:
+
+1. **Smoke matrix** — every registered strategy x every scheduler it
+   declares, on a small instance of its worst-case family, asserting
+   :class:`RunResult` field parity (metrics/events populated, terminal
+   event present, JSON-able summary) across all workloads.
+2. **Shim equivalence** — the legacy entry points are thin shims over
+   ``simulate()``; their results must equal a direct facade call
+   field-for-field (guards against drift if a shim stops delegating).
+3. **Registry contract** — unknown keys and strategy/scheduler
+   mismatches fail loudly; the public surface exports the facade.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+import repro
+from repro.api import SCHEDULERS, STRATEGIES, simulate
+from repro.baselines.async_greedy import gather_async
+from repro.baselines.chain import hairpin_chain, shorten_chain
+from repro.baselines.closed_chain import gather_closed_chain, rectangle_chain
+from repro.baselines.euclidean import gather_euclidean, worst_case_circle
+from repro.baselines.global_grid import gather_global_with_moves
+from repro.core.algorithm import gather
+from repro.engine.protocols import RunResult, Scenario
+from repro.swarms.generators import line, ring
+from repro.trace.recorder import load_trace
+
+#: Every (strategy, scheduler) pair the registry declares runnable.
+MATRIX = sorted(
+    (key, scheduler)
+    for key, strat in STRATEGIES.items()
+    for scheduler in strat.schedulers
+)
+
+SMOKE_N = 16
+
+
+class TestSmokeMatrix:
+    @pytest.mark.parametrize("key,scheduler", MATRIX)
+    def test_every_strategy_scheduler_pair(self, key, scheduler):
+        strat = STRATEGIES[key]
+        result = simulate(
+            strat.compare_scenario(SMOKE_N),
+            strategy=key,
+            scheduler=scheduler,
+            check_connectivity=False,
+            seed=1,
+        )
+        # uniform result surface
+        assert isinstance(result, RunResult)
+        assert result.strategy == key and result.scheduler == scheduler
+        assert result.gathered, f"{key}/{scheduler} must gather at n=16"
+        assert result.rounds >= 1
+        assert 1 <= result.robots_final <= result.robots_initial
+        assert result.merges_total == (
+            result.robots_initial - result.robots_final
+        )
+        # metrics/events parity: one metrics row per round, a terminal
+        # event, extras always carry the initial diameter
+        assert len(result.metrics) == result.rounds
+        assert len(result.events.of_kind("gathered")) == 1
+        assert result.extras["initial_diameter"] >= 0
+        # activations are an async-scheduler concept
+        assert (result.activations is not None) == (scheduler == "async")
+        json.dumps(result.summary())  # machine-readable by contract
+
+    @pytest.mark.parametrize("key", sorted(STRATEGIES))
+    def test_registry_metadata(self, key):
+        strat = STRATEGIES[key]
+        assert strat.key == key
+        assert strat.default_scheduler in strat.schedulers
+        assert all(s in SCHEDULERS for s in strat.schedulers)
+        assert strat.description and strat.compare_label
+
+    def test_trajectory_recording(self):
+        result = simulate(ring(8), record_trajectory=True)
+        assert result.trajectory is not None
+        assert len(result.trajectory) == result.rounds
+        assert result.trajectory[-1] == result.final_state.frozen()
+
+    def test_trace_integration(self):
+        buf = io.StringIO()
+        result = simulate(
+            Scenario(family="ring", n=24), trace=buf, max_rounds=5
+        )
+        lines = buf.getvalue().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["strategy"] == "grid"
+        assert header["scheduler"] == "fsync"
+        assert header["family"] == "ring"
+        rows = load_trace(lines)
+        assert len(rows) == result.rounds
+
+    def test_trace_works_for_stepped_strategies(self):
+        buf = io.StringIO()
+        result = simulate(
+            hairpin_chain(8), strategy="chain", trace=buf
+        )
+        rows = load_trace(buf.getvalue().splitlines())
+        assert len(rows) == result.rounds
+        assert len(rows[-1].cells) == result.robots_final
+
+    def test_budget_exhaustion_is_terminal_event(self):
+        result = simulate(ring(20), max_rounds=2)
+        assert not result.gathered
+        assert len(result.events.of_kind("budget_exhausted")) == 1
+
+    def test_seed_changes_async_schedule_not_result_type(self):
+        r1 = simulate(ring(10), strategy="async_greedy", seed=1)
+        r2 = simulate(ring(10), strategy="async_greedy", seed=1)
+        assert r1.rounds == r2.rounds
+        assert r1.activations == r2.activations
+        assert r1.final_state.frozen() == r2.final_state.frozen()
+
+
+class TestShimEquivalence:
+    """Legacy entry points must return exactly what the facade computes."""
+
+    def test_gather_shim(self):
+        legacy = gather(ring(10))
+        direct = simulate(ring(10), strategy="grid")
+        assert legacy.rounds == direct.rounds
+        assert legacy.gathered == direct.gathered
+        assert legacy.final_state.frozen() == direct.final_state.frozen()
+        assert legacy.events.counts() == direct.events.counts()
+        assert len(legacy.metrics) == len(direct.metrics)
+
+    def test_gather_async_shim(self):
+        legacy = gather_async(ring(10), seed=5)
+        direct = simulate(ring(10), strategy="async_greedy", seed=5)
+        assert legacy.rounds == direct.rounds
+        assert legacy.activations == direct.activations
+        assert legacy.final_state.frozen() == direct.final_state.frozen()
+        assert legacy.events.counts() == direct.events.counts()
+
+    def test_gather_euclidean_shim(self):
+        pts = worst_case_circle(12)
+        legacy = gather_euclidean(pts, record_diameter=True)
+        direct = simulate(
+            pts, strategy="euclidean", record_diameter=True
+        )
+        assert legacy.rounds == direct.rounds
+        assert legacy.gathered == direct.gathered
+        assert legacy.diameters == direct.extras["diameters"]
+        assert len(direct.metrics) == direct.rounds
+
+    def test_shorten_chain_shim(self):
+        chain = hairpin_chain(12)
+        legacy = shorten_chain(chain)
+        direct = simulate(chain, strategy="chain")
+        assert legacy.shortened == direct.gathered
+        assert legacy.rounds == direct.rounds
+        assert legacy.final_length == direct.extras["final_length"]
+        assert legacy.optimal_length == direct.extras["optimal_length"]
+
+    def test_gather_closed_chain_shim(self):
+        chain = rectangle_chain(6, 6)
+        legacy = gather_closed_chain(chain, seed=3)
+        direct = simulate(chain, strategy="closed_chain", seed=3)
+        assert legacy.gathered == direct.gathered
+        assert legacy.rounds == direct.rounds
+        assert legacy.robots_final == direct.robots_final
+
+    def test_gather_global_shim(self):
+        legacy, moves = gather_global_with_moves(line(20))
+        direct = simulate(line(20), strategy="global")
+        assert legacy.rounds == direct.rounds
+        assert moves == direct.extras["total_moves"]
+        assert legacy.final_state.frozen() == direct.final_state.frozen()
+
+
+class TestRegistryContract:
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            simulate(ring(8), strategy="nope")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            simulate(ring(8), scheduler="ssync")
+
+    def test_incompatible_scheduler(self):
+        with pytest.raises(ValueError, match="supports schedulers"):
+            simulate(ring(8), strategy="grid", scheduler="async")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="unknown options"):
+            simulate(ring(8), strategy="grid", view_range=2.0)
+
+    def test_string_scenario_rejected(self):
+        with pytest.raises(TypeError, match="ambiguous"):
+            simulate("ring")
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            Scenario()
+        with pytest.raises(ValueError):
+            Scenario(family="ring")  # no n
+
+    def test_chain_family_mismatch_is_loud(self):
+        with pytest.raises(ValueError, match="hairpin"):
+            simulate(Scenario(family="ring", n=12), strategy="chain")
+
+    def test_public_surface_exports_facade(self):
+        for name in (
+            "simulate",
+            "Scenario",
+            "RunResult",
+            "STRATEGIES",
+            "SCHEDULERS",
+        ):
+            assert name in repro.__all__, f"{name} missing from __all__"
+            assert hasattr(repro, name)

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -17,6 +19,14 @@ class TestParser:
     def test_unknown_family_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["gather", "--family", "nope"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gather", "--strategy", "nope"])
+
+    def test_strategy_defaults_to_grid(self):
+        args = build_parser().parse_args(["gather"])
+        assert args.strategy == "grid" and args.scheduler is None
 
 
 class TestCommands:
@@ -57,3 +67,64 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "gathered after" in out
+
+    def test_gather_json(self, capsys):
+        rc = main(["gather", "--family", "line", "-n", "20", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["strategy"] == "grid"
+        assert payload["gathered"] is True
+        assert payload["family"] == "line"
+
+    def test_gather_baseline_strategy(self, capsys):
+        rc = main(["gather", "--family", "line", "-n", "16",
+                   "--strategy", "global", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["strategy"] == "global"
+        assert payload["extras"]["total_moves"] > 0
+
+    def test_gather_seed_reproducible(self, capsys):
+        argv = ["gather", "--family", "blob", "-n", "30", "--seed", "9",
+                "--json"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    def test_scale_json_and_strategy(self, capsys):
+        rc = main(["scale", "--family", "line", "--sizes", "16", "32",
+                   "--strategy", "global", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["strategy"] == "global"
+        assert [p["n"] for p in payload["points"]] == [16, 32]
+
+    def test_family_strategy_mismatch_clean_error(self, capsys):
+        # parser accepts each flag alone; the combination fails cleanly
+        rc = main(["gather", "--family", "circle"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+
+    def test_incompatible_scheduler_clean_error(self, capsys):
+        rc = main(["gather", "--strategy", "grid", "--scheduler", "async"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "supports schedulers" in err
+
+    def test_watch_rejects_continuous_strategies(self, capsys):
+        rc = main(["watch", "--family", "circle", "--strategy",
+                   "euclidean", "-n", "8"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "continuous" in err
+
+    def test_compare_strategies_subset_json(self, capsys):
+        rc = main(["compare", "--sizes", "12", "--strategies", "grid",
+                   "chain", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["strategies"] == ["grid", "chain"]
+        assert set(payload["rows"][0]) == {"n", "grid", "chain"}

@@ -42,6 +42,24 @@ class TestConfig:
         with pytest.raises(Exception):
             cfg.viewing_radius = 5  # type: ignore[misc]
 
+    def test_with_radius_derives_bump_length(self):
+        cfg = AlgorithmConfig.with_radius(14)
+        assert cfg.viewing_radius == 14
+        assert cfg.max_bump_length == 6  # largest k with 2k + 2 <= 14
+        # the derived config always satisfies the locality budget
+        for radius in (5, 6, 11, 20, 31):
+            derived = AlgorithmConfig.with_radius(radius)
+            assert 2 * derived.max_bump_length + 2 <= radius
+
+    def test_with_radius_default_matches_paper(self):
+        assert AlgorithmConfig.with_radius(20) == AlgorithmConfig()
+
+    def test_with_radius_overrides_pass_through(self):
+        cfg = AlgorithmConfig.with_radius(14, run_start_interval=11)
+        assert cfg.run_start_interval == 11
+        cfg = AlgorithmConfig.with_radius(14, max_bump_length=2)
+        assert cfg.max_bump_length == 2
+
 
 class TestLocalView:
     def test_membership_inside(self):
