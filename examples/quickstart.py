@@ -4,7 +4,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import AlgorithmConfig, gather, ring
+from repro import AlgorithmConfig, Scenario, gather, ring, simulate
 from repro.viz import render
 
 
@@ -35,6 +35,24 @@ def main() -> None:
         f"\npaper constants: viewing radius {cfg.viewing_radius}, "
         f"run start interval L = {cfg.run_start_interval}, "
         f"run passing distance {cfg.run_passing_distance}"
+    )
+
+    # Weaker time models: the same algorithm under an adversarial SSYNC
+    # scheduler that activates each robot with probability 0.8 per round
+    # (docs/schedulers.md).  Activation probability 1.0 would reproduce
+    # the FSYNC run above exactly.
+    ssync = simulate(
+        Scenario(family="line", n=16),
+        scheduler="ssync",
+        activation="uniform",
+        activation_p=0.8,
+        seed=1,
+    )
+    fsync = simulate(Scenario(family="line", n=16))
+    print(
+        f"\nSSYNC(p=0.8) on a 16-robot line: gathered={ssync.gathered} "
+        f"in {ssync.rounds} rounds ({ssync.activations} activations) "
+        f"vs {fsync.rounds} FSYNC rounds"
     )
 
 

@@ -38,6 +38,7 @@ class ScalingPoint:
     merges: int
     diameter: int
     strategy: str = "grid"
+    scheduler: Optional[str] = None
 
     @property
     def rounds_per_n(self) -> float:
@@ -48,11 +49,14 @@ class ScalingPoint:
 class SweepJob:
     """One unit of sweep work (picklable: safe to ship to a worker).
 
-    ``strategy`` is a :data:`repro.api.STRATEGIES` key, so scaling and
-    ablation sweeps cover the baselines through the same facade the CLI
-    uses (strategy objects never cross process boundaries — only the
-    string key does, and the worker resolves it against its own
-    registry)."""
+    ``strategy`` and ``scheduler`` are :data:`repro.api.STRATEGIES` /
+    :data:`repro.api.SCHEDULERS` keys, so sweeps cover the baselines and
+    every time model through the same facade the CLI uses (strategy and
+    scheduler objects never cross process boundaries — only the string
+    keys do, and the worker resolves them against its own registry).
+    ``options`` carries strategy/scheduler keyword options as a sorted
+    tuple of ``(name, value)`` pairs — a picklable, hashable stand-in
+    for the ``simulate(**options)`` dict."""
 
     family: str
     n: int
@@ -61,6 +65,8 @@ class SweepJob:
     check_connectivity: bool = True
     max_rounds: Optional[int] = None
     strategy: str = "grid"
+    scheduler: Optional[str] = None
+    options: Tuple[Tuple[str, object], ...] = ()
 
 
 def _resolve_workers(workers: Optional[int]) -> Optional[int]:
@@ -91,9 +97,12 @@ def run_job(job: SweepJob) -> ScalingPoint:
     result = simulate(
         Scenario(family=job.family, n=job.n, seed=job.seed),
         strategy=job.strategy,
+        scheduler=job.scheduler,
         config=job.cfg,
         check_connectivity=job.check_connectivity,
         max_rounds=job.max_rounds,
+        seed=job.seed,
+        **dict(job.options),
     )
     return ScalingPoint(
         family=job.family,
@@ -103,6 +112,7 @@ def run_job(job: SweepJob) -> ScalingPoint:
         merges=result.merges_total,
         diameter=int(round(result.extras["initial_diameter"])),
         strategy=job.strategy,
+        scheduler=result.scheduler,
     )
 
 
@@ -119,6 +129,8 @@ def run_scaling(
     cfg: Optional[AlgorithmConfig] = None,
     *,
     strategy: str = "grid",
+    scheduler: Optional[str] = None,
+    scheduler_options: Optional[Dict[str, object]] = None,
     check_connectivity: bool = True,
     max_rounds: Optional[int] = None,
     seeds: Optional[Sequence[int]] = None,
@@ -129,8 +141,12 @@ def run_scaling(
     ``n`` recorded is the *actual* robot count (generators hit the target
     only approximately for structured shapes).  ``seeds`` optionally
     provides a per-size seed for stochastic families; ``strategy`` sweeps
-    any registered workload (baselines included) through the facade.
+    any registered workload (baselines included) through the facade, and
+    ``scheduler`` any registered time model (``None`` = the strategy's
+    canonical one).  ``scheduler_options`` forwards keyword options, e.g.
+    ``{"activation_p": 0.7}`` for SSYNC sweeps.
     """
+    options = tuple(sorted((scheduler_options or {}).items()))
     jobs = [
         SweepJob(
             family=family_name,
@@ -140,6 +156,8 @@ def run_scaling(
             check_connectivity=check_connectivity,
             max_rounds=max_rounds,
             strategy=strategy,
+            scheduler=scheduler,
+            options=options,
         )
         for i, size in enumerate(sizes)
     ]
@@ -187,6 +205,82 @@ def run_ablation(
     ]
     results = _map_maybe_parallel(_run_ablation_point, tasks, workers)
     return dict(zip(values, results))
+
+
+# ----------------------------------------------------------------------
+# SSYNC robustness
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One point of the SSYNC robustness experiment: a strategy on its
+    worst-case family under uniform activation probability ``p``."""
+
+    strategy: str
+    n: int
+    activation_p: float
+    rounds: int
+    gathered: bool
+
+
+def run_robustness(
+    strategies: Sequence[str],
+    probs: Sequence[float],
+    n: int,
+    *,
+    k_fairness: int = 8,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[RobustnessPoint]:
+    """Gathering time vs SSYNC activation probability, per strategy.
+
+    Each strategy runs on its own worst-case/showcase family (the
+    ``compare_scenario`` hook) under ``scheduler="ssync"`` with the
+    ``uniform`` policy at each probability in ``probs`` — the
+    degradation curve the SSYNC literature judges strategies by
+    (rendered by figure ``fig22``).  Connectivity checking is off: the
+    paper's safety argument assumes FSYNC simultaneity, and measuring
+    degradation past the breakage point is exactly the purpose.
+    """
+    from repro.api import STRATEGIES
+
+    jobs = []
+    for key in strategies:
+        scenario = STRATEGIES[key].compare_scenario(n)
+        for p in probs:
+            jobs.append(
+                SweepJob(
+                    family=scenario.family,
+                    n=scenario.n,
+                    seed=seed if scenario.seed is None else scenario.seed,
+                    check_connectivity=False,
+                    max_rounds=max_rounds,
+                    strategy=key,
+                    scheduler="ssync",
+                    options=(
+                        ("activation", "uniform"),
+                        ("activation_p", p),
+                        ("k_fairness", k_fairness),
+                    ),
+                )
+            )
+    points = run_jobs(jobs, workers=workers)
+    out: List[RobustnessPoint] = []
+    i = 0
+    for key in strategies:
+        for p in probs:
+            point = points[i]
+            i += 1
+            out.append(
+                RobustnessPoint(
+                    strategy=key,
+                    n=point.n,
+                    activation_p=p,
+                    rounds=point.rounds,
+                    gathered=point.gathered,
+                )
+            )
+    return out
 
 
 def sweep(

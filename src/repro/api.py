@@ -22,7 +22,17 @@ import time:
   ``async_greedy``, ``chain``, ``closed_chain``;
 * :data:`SCHEDULERS` — ``fsync`` (the paper's time model; also drives
   the bespoke self-clocked FSYNC loops of the Euclidean and chain
-  baselines) and ``async`` (the fair sequential scheduler).
+  baselines), ``async`` (the fair sequential scheduler), and ``ssync``
+  / ``ssync-faulty`` (semi-synchronous subset activation under a
+  k-fairness bound, optionally with seeded crash-stop and transient
+  sleep faults — see :mod:`repro.engine.ssync_scheduler`).
+
+Adversarial scheduling, for example — any strategy, one keyword:
+
+>>> result = simulate(Scenario(family="ring", n=64), scheduler="ssync",
+...                   activation="uniform", activation_p=0.7, seed=1)
+>>> result.events.counts()["activation"] == result.rounds
+True
 
 Every run returns one :class:`repro.engine.protocols.RunResult`.  The
 legacy per-workload entry points (``gather``, ``gather_async``,
@@ -30,8 +40,9 @@ legacy per-workload entry points (``gather``, ``gather_async``,
 ``gather_closed_chain``) are thin deprecation shims over ``simulate()``
 and keep returning their historical result types byte-identically.
 
-Future time models (SSYNC, fault injection) and workloads plug in by
-registering a class here — see ``docs/api.md`` for the contract.
+New time models and workloads plug in by registering a class here — see
+``docs/api.md`` for the contract and ``docs/schedulers.md`` for the
+SSYNC/fault model semantics.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
 from repro.engine.async_scheduler import AsyncEngine
 from repro.engine.events import EventLog
+from repro.engine.faults import FaultInjector
 from repro.engine.metrics import MetricsLog, RoundMetrics
 from repro.engine.protocols import (
     AsyncProgram,
@@ -59,11 +71,18 @@ from repro.engine.protocols import (
     Scenario,
     Scheduler,
     SimContext,
+    SsyncSteppable,
     StateView,
     SteppedProgram,
     Strategy,
 )
 from repro.engine.scheduler import FsyncEngine
+from repro.engine.ssync_scheduler import (
+    ActivationSchedule,
+    SsyncEngine,
+    drive_stepped_ssync,
+    make_policy,
+)
 from repro.grid.occupancy import SwarmState
 from repro.swarms.generators import family
 from repro.trace.recorder import TraceRecorder
@@ -182,6 +201,7 @@ class FsyncScheduler:
 
     key = "fsync"
     description = "fully synchronous rounds (the paper's time model)"
+    option_names: tuple = ()
 
     def drive(self, program: Any, ctx: SimContext) -> RunResult:
         if isinstance(program, FsyncProgram):
@@ -222,6 +242,7 @@ class AsyncScheduler:
 
     key = "async"
     description = "fair sequential scheduler (one robot active at a time)"
+    option_names: tuple = ()
 
     def drive(self, program: AsyncProgram, ctx: SimContext) -> RunResult:
         seed = ctx.seed if ctx.seed is not None else program.seed
@@ -247,6 +268,143 @@ class AsyncScheduler:
         )
 
 
+#: Seed salts keeping the activation-policy RNG and the fault RNG
+#: independent streams of one user-facing ``simulate(seed=...)``.
+_POLICY_SEED_SALT = 0x55AC
+_FAULT_SEED_SALT = 0xFA17
+
+
+class _SsyncSchedulerBase:
+    """Semi-synchronous subset activation under a k-fairness bound.
+
+    Options (``simulate(..., scheduler="ssync", <option>=...)``):
+
+    ``activation``
+        Policy key: ``"uniform"`` (default), ``"round_robin"``, or
+        ``"adversarial"`` — see
+        :data:`repro.engine.ssync_scheduler.ACTIVATION_POLICIES`.
+    ``activation_p``
+        Per-robot activation probability for ``uniform`` (default 0.5;
+        1.0 reproduces FSYNC trajectories exactly when faults are off).
+    ``rr_k``
+        Class count for ``round_robin`` (default 3).
+    ``k_fairness``
+        Fairness bound: every (fault-free) robot is activated at least
+        once in any ``k`` consecutive rounds (default 8).
+    ``sleep_rate`` / ``crash_rate``
+        Per-robot, per-round transient-sleep and crash-stop fault
+        probabilities (defaults differ between ``ssync`` and
+        ``ssync-faulty``).
+
+    One ``simulate(seed=...)`` seeds policy and fault draws on
+    independent RNG streams; ``seed=None`` means seed 0 — adversarial
+    runs are always deterministic.
+    """
+
+    option_names = (
+        "activation",
+        "activation_p",
+        "rr_k",
+        "k_fairness",
+        "sleep_rate",
+        "crash_rate",
+    )
+    default_sleep_rate = 0.0
+    default_crash_rate = 0.0
+    key = "ssync"  # overridden by the registered subclasses
+
+    def _build_schedule(self, ctx: SimContext) -> ActivationSchedule:
+        opts = ctx.options
+        name = opts.pop("activation", "uniform")
+        p = opts.pop("activation_p", None)
+        rr_k = opts.pop("rr_k", None)
+        k_fairness = opts.pop("k_fairness", 8)
+        sleep_rate = opts.pop("sleep_rate", self.default_sleep_rate)
+        crash_rate = opts.pop("crash_rate", self.default_crash_rate)
+        # A parameter for a policy that is not in effect would be
+        # silently ignored — reject it instead, keeping calls honest.
+        if p is not None and name != "uniform":
+            raise ValueError(
+                f"activation_p applies only to the 'uniform' policy, "
+                f"not {name!r}"
+            )
+        if rr_k is not None and name != "round_robin":
+            raise ValueError(
+                f"rr_k applies only to the 'round_robin' policy, "
+                f"not {name!r}"
+            )
+        seed = ctx.seed if ctx.seed is not None else 0
+        policy = make_policy(
+            name,
+            p=0.5 if p is None else p,
+            k=3 if rr_k is None else rr_k,
+            seed=seed ^ _POLICY_SEED_SALT,
+        )
+        injector = FaultInjector(
+            sleep_rate, crash_rate, seed=seed ^ _FAULT_SEED_SALT
+        )
+        return ActivationSchedule(
+            policy, k_fairness, injector if injector.enabled else None
+        )
+
+    def drive(self, program: Any, ctx: SimContext) -> RunResult:
+        schedule = self._build_schedule(ctx)
+        if isinstance(program, (FsyncProgram, AsyncProgram)):
+            engine = SsyncEngine(
+                program.state,
+                program.controller,
+                schedule,
+                check_connectivity=program.check_connectivity,
+                track_boundary=ctx.track_boundary,
+                on_round=ctx.on_round,
+            )
+            res = engine.run(max_rounds=ctx.max_rounds)
+            extras_fn = getattr(program, "extras_fn", None)
+            return RunResult(
+                strategy="",
+                scheduler=self.key,
+                gathered=res.gathered,
+                rounds=res.rounds,
+                robots_initial=res.robots_initial,
+                robots_final=res.robots_final,
+                metrics=res.metrics,
+                events=res.events,
+                final_state=res.final_state,
+                activations=engine.activations,
+                extras=dict(extras_fn()) if extras_fn else {},
+            )
+        if isinstance(program, SsyncSteppable):
+            return drive_stepped_ssync(program, schedule, ctx, self.key)
+        raise TypeError(
+            f"program {type(program).__name__} does not support the "
+            f"SSYNC scheduler (needs FsyncProgram, AsyncProgram, or the "
+            f"ssync_roster/ssync_step surface)"
+        )
+
+
+@register_scheduler
+class SsyncScheduler(_SsyncSchedulerBase):
+    """SSYNC: per-round activation subsets under a k-fairness bound,
+    fault-free by default (fault rates can still be passed explicitly)."""
+
+    key = "ssync"
+    description = (
+        "semi-synchronous subset activation under a k-fairness bound"
+    )
+
+
+@register_scheduler
+class SsyncFaultyScheduler(_SsyncSchedulerBase):
+    """SSYNC with fault injection on by default: transient sleep faults
+    at rate 0.05 (override with ``sleep_rate``/``crash_rate``)."""
+
+    key = "ssync-faulty"
+    description = (
+        "SSYNC with seeded crash-stop / transient-sleep fault injection"
+    )
+    default_sleep_rate = 0.05
+
+
 # ----------------------------------------------------------------------
 # Grid-state strategies (FSYNC engine / ASYNC engine)
 # ----------------------------------------------------------------------
@@ -259,7 +417,7 @@ class GridStrategy:
 
     key = "grid"
     description = "paper's local-view O(n) grid gathering (FSYNC)"
-    schedulers = ("fsync",)
+    schedulers = ("fsync", "ssync", "ssync-faulty")
     default_scheduler = "fsync"
     compare_label = "grid"
 
@@ -289,7 +447,7 @@ class GlobalVisionStrategy:
 
     key = "global"
     description = "global-vision gathering toward the bounding-box center"
-    schedulers = ("fsync",)
+    schedulers = ("fsync", "ssync", "ssync-faulty")
     default_scheduler = "fsync"
     compare_label = "global"
 
@@ -317,7 +475,7 @@ class AsyncGreedyStrategy:
 
     key = "async_greedy"
     description = "greedy gathering under the fair ASYNC scheduler"
-    schedulers = ("async",)
+    schedulers = ("async", "ssync", "ssync-faulty")
     default_scheduler = "async"
     compare_label = "async"
 
@@ -366,6 +524,24 @@ class _EuclideanProgram:
         self, round_index: int, metrics: MetricsLog, events: EventLog
     ) -> None:
         self.gatherer.step(self.swarm)
+        self._record(round_index, metrics)
+
+    def ssync_roster(self) -> List[int]:
+        # Continuous robots never merge, so array indices are stable ids.
+        return list(range(len(self.swarm)))
+
+    def ssync_step(
+        self,
+        round_index: int,
+        active: Any,
+        metrics: MetricsLog,
+        events: EventLog,
+    ) -> Dict[int, int]:
+        self.gatherer.step(self.swarm, active=set(active))
+        self._record(round_index, metrics)
+        return {}
+
+    def _record(self, round_index: int, metrics: MetricsLog) -> None:
         diameter = self.swarm.diameter()
         if self.record_diameter:
             self.diameters.append(diameter)
@@ -404,7 +580,7 @@ class EuclideanStrategy:
 
     key = "euclidean"
     description = "[DKL+11] Euclidean go-to-center (Theta(n^2) FSYNC)"
-    schedulers = ("fsync",)
+    schedulers = ("fsync", "ssync", "ssync-faulty")
     default_scheduler = "fsync"
     compare_label = "euclid"
 
@@ -447,6 +623,15 @@ class _ChainProgramBase:
     ) -> None:
         before = len(self.stepper.chain)
         self.stepper.step()
+        self._record(round_index, before, metrics, events)
+
+    def _record(
+        self,
+        round_index: int,
+        before: int,
+        metrics: MetricsLog,
+        events: EventLog,
+    ) -> None:
         chain = self.stepper.chain
         removed = before - len(chain)
         if removed:
@@ -476,11 +661,34 @@ class _ChainProgram(_ChainProgramBase):
 
     stepper: ChainShortener
 
+    def __init__(self, stepper: ChainShortener) -> None:
+        super().__init__(stepper)
+        # Stable relay ids for the SSYNC roster, migrated through the
+        # keep mask each round (removed relays drop out).
+        self._ids = list(range(len(stepper.chain)))
+
     def done(self) -> bool:
         return self.stepper.is_minimal()
 
     def default_budget(self) -> int:
         return 50 * self.robots_initial + 100
+
+    def ssync_roster(self) -> List[int]:
+        return list(self._ids)
+
+    def ssync_step(
+        self,
+        round_index: int,
+        active: Any,
+        metrics: MetricsLog,
+        events: EventLog,
+    ) -> Dict[int, int]:
+        before = len(self.stepper.chain)
+        mask = [relay_id in active for relay_id in self._ids]
+        keep = self.stepper.step_active(mask)
+        self._ids = [i for i, k in zip(self._ids, keep) if k]
+        self._record(round_index, before, metrics, events)
+        return {}
 
     def result_fields(self) -> Dict[str, Any]:
         fields = super().result_fields()
@@ -501,7 +709,7 @@ class ChainStrategy:
 
     key = "chain"
     description = "[KM09]-flavoured open-chain shortening (FSYNC)"
-    schedulers = ("fsync",)
+    schedulers = ("fsync", "ssync", "ssync-faulty")
     default_scheduler = "fsync"
     compare_label = "chain"
 
@@ -537,6 +745,22 @@ class _ClosedChainProgram(_ChainProgramBase):
     def default_budget(self) -> int:
         return 400 * self.robots_initial + 400
 
+    def ssync_roster(self) -> List[int]:
+        # The gatherer's linked-ring nodes already carry stable ids.
+        return self.stepper.node_ids
+
+    def ssync_step(
+        self,
+        round_index: int,
+        active: Any,
+        metrics: MetricsLog,
+        events: EventLog,
+    ) -> Dict[int, int]:
+        before = len(self.stepper.chain)
+        self.stepper.step(active_ids=set(active))
+        self._record(round_index, before, metrics, events)
+        return {}
+
 
 @register_strategy
 class ClosedChainStrategy:
@@ -547,7 +771,7 @@ class ClosedChainStrategy:
 
     key = "closed_chain"
     description = "[ACLF+16] randomized closed-chain gathering (FSYNC)"
-    schedulers = ("fsync",)
+    schedulers = ("fsync", "ssync", "ssync-faulty")
     default_scheduler = "fsync"
     compare_label = "closed"
 
@@ -613,6 +837,11 @@ def simulate(
 ) -> RunResult:
     """Run any registered workload under any compatible scheduler.
 
+    This is the repo's one simulation entry point: pick a workload from
+    :data:`STRATEGIES`, a time model from :data:`SCHEDULERS`, and read
+    everything off the returned
+    :class:`~repro.engine.protocols.RunResult`.
+
     Parameters
     ----------
     scenario:
@@ -621,21 +850,46 @@ def simulate(
     strategy, scheduler:
         Registry keys (see :data:`STRATEGIES` / :data:`SCHEDULERS`);
         ``scheduler`` defaults to the strategy's canonical time model.
+        Every strategy also runs under ``"ssync"`` / ``"ssync-faulty"``
+        (adversarial subset activation, optional fault injection — the
+        scheduler options below).
     config:
         :class:`AlgorithmConfig` for the grid strategy (others ignore).
+    max_rounds:
+        Round budget; ``None`` uses the strategy's generous default.
     seed:
         One seed for everything stochastic: scenario generation (unless
         the Scenario pins its own), the ASYNC activation order, the
-        closed chain's coins.  ``None`` keeps each component's legacy
-        default, so unseeded calls are bit-identical to the old entry
-        points.
+        closed chain's coins, the SSYNC activation policy and fault
+        draws.  ``None`` keeps each component's legacy default, so
+        unseeded calls are bit-identical to the old entry points (the
+        SSYNC schedulers read ``None`` as seed 0 — always
+        deterministic).
+    check_connectivity:
+        Verify the paper's connectivity invariant each round and raise
+        :class:`~repro.engine.errors.ConnectivityViolation` on breakage
+        (grid-state strategies only).
     on_round / record_trajectory / trace:
         Per-round hooks: a callback ``(round_index, state)``; collect
         :attr:`RunResult.trajectory` snapshots; write a JSONL trace to
         the given file handle (with strategy/scheduler/family metadata).
     options:
         Strategy-specific keywords (``view_range``, ``controller``, ...)
-        — unknown ones raise, keeping call sites honest.
+        and scheduler-specific keywords (for ``ssync``/``ssync-faulty``:
+        ``activation``, ``activation_p``, ``rr_k``, ``k_fairness``,
+        ``sleep_rate``, ``crash_rate`` — semantics in
+        ``docs/schedulers.md``) — unknown ones raise, keeping call
+        sites honest.
+
+    Returns
+    -------
+    RunResult
+        Uniform outcome: ``gathered``/``rounds``/population counts,
+        per-round ``metrics``, a round-ordered ``events`` log (with
+        ``activation``/``fault`` events under the SSYNC schedulers and
+        a terminal ``gathered``/``budget_exhausted`` event always), the
+        strategy's native ``final_state``, and strategy-specific
+        ``extras``.
     """
     try:
         strat = STRATEGIES[strategy]
@@ -697,10 +951,22 @@ def simulate(
     ctx.on_round = _chain_hooks(hooks) if hooks else None
 
     program = strat.build(resolved, ctx)
-    if ctx.options:
+    # Options the strategy's build() did not consume may still belong to
+    # the scheduler (popped inside drive()); anything else is a typo and
+    # must fail loudly before the run starts.
+    scheduler_options = set(getattr(sched, "option_names", ()))
+    unknown = set(ctx.options) - scheduler_options
+    if unknown:
+        accepts = (
+            f"scheduler {scheduler_key!r} accepts "
+            f"{sorted(scheduler_options)}"
+            if scheduler_options
+            else f"scheduler {scheduler_key!r} accepts no options"
+        )
         raise TypeError(
-            f"strategy {strategy!r} got unknown options "
-            f"{sorted(ctx.options)}"
+            f"strategy {strategy!r} / scheduler {scheduler_key!r} got "
+            f"unknown options {sorted(unknown)}; {accepts}; registered "
+            f"schedulers: {sorted(SCHEDULERS)}"
         )
     result = sched.drive(program, ctx)
     result.strategy = strategy

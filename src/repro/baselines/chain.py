@@ -75,6 +75,16 @@ class ChainShortener:
 
     def step(self) -> None:
         """One FSYNC round: interior relays of one parity act."""
+        self.step_active(None)
+
+    def step_active(self, mask: Optional[List[bool]]) -> List[bool]:
+        """One round in which relay ``i`` may act only if ``mask[i]`` —
+        the SSYNC subset-activation hook (``mask=None`` is the plain
+        FSYNC round).  The acting relays are still parity-restricted, so
+        any activation subset keeps simultaneous moves compatible.
+        Returns the keep mask over the pre-round chain (``False`` =
+        relay removed itself), which SSYNC drivers use to migrate their
+        stable relay ids."""
         chain = self.chain
         parity = self.round_index % 2
         # Phase 1: redundant relays of this parity mark themselves.
@@ -82,14 +92,23 @@ class ChainShortener:
         for i in range(1, len(chain) - 1):
             if i % 2 != parity:
                 continue
+            if mask is not None and not mask[i]:
+                continue
             if keep[i - 1] and _adjacent8(chain[i - 1], chain[i + 1]):
                 keep[i] = False
         new_chain = [c for c, k in zip(chain, keep) if k]
+        new_mask = (
+            None
+            if mask is None
+            else [m for m, k in zip(mask, keep) if k]
+        )
         # Phase 2: surviving interior relays of this parity hop toward the
         # midpoint of their (post-removal) neighbors.
         result: List[Cell] = list(new_chain)
         for i in range(1, len(new_chain) - 1):
             if i % 2 != parity:
+                continue
+            if new_mask is not None and not new_mask[i]:
                 continue
             prev_c, cur, nxt = new_chain[i - 1], new_chain[i], new_chain[i + 1]
             mid = ((prev_c[0] + nxt[0]) // 2, (prev_c[1] + nxt[1]) // 2)
@@ -98,6 +117,7 @@ class ChainShortener:
                 result[i] = cand
         self.chain = result
         self.round_index += 1
+        return keep
 
     def run(self, max_rounds: Optional[int] = None) -> ChainResult:
         initial = len(self.chain)

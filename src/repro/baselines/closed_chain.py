@@ -116,8 +116,20 @@ class ClosedChainGatherer:
     def is_gathered(self) -> bool:
         return _bounding_square(self.chain) <= 1
 
-    def step(self) -> None:
-        """One FSYNC round: coin-selected robots contract or pull."""
+    @property
+    def node_ids(self) -> List[int]:
+        """Stable per-robot ids, head first (SSYNC roster tokens)."""
+        return [node.node_id for node in self._nodes()]
+
+    def step(self, active_ids: Optional[set] = None) -> None:
+        """One round: coin-selected robots contract or pull.
+
+        ``active_ids`` restricts acting to the given node ids (SSYNC
+        subset activation); ``None`` means every robot participates —
+        the FSYNC round, unchanged.  Coins are part of the *algorithm*
+        (every robot draws one each round, activated or not), so the RNG
+        stream is independent of the scheduler's choices.
+        """
         nodes = self._nodes()
         n = self._size
         coins = [self.rng.random() < 0.5 for _ in range(n)]
@@ -129,6 +141,11 @@ class ClosedChainGatherer:
             coins[i] and not coins[(i - 1) % n] and not coins[(i + 1) % n]
             for i in range(n)
         ]
+        if active_ids is not None:
+            acting = [
+                a and nodes[i].node_id in active_ids
+                for i, a in enumerate(acting)
+            ]
         # Phase 1: contractions — unlink the node (O(1) splice).
         size = n
         for i, node in enumerate(nodes):

@@ -161,11 +161,21 @@ class GoToCenterGatherer:
         #: movement; infinite means "move as far as the clip allows").
         self.step_cap = step_cap
 
-    def step(self, swarm: EuclideanSwarm) -> None:
+    def step(
+        self, swarm: EuclideanSwarm, active: Optional[set] = None
+    ) -> None:
+        """One round.  ``active`` restricts the look-compute-move cycle
+        to the given robot indices (SSYNC subset activation); ``None``
+        means everyone acts — the FSYNC round, unchanged.  Robots not in
+        ``active`` keep their position; the connectivity clip of acting
+        robots still accounts for every visible neighbor, so no
+        visibility edge breaks under any activation subset."""
         pos = swarm.pos
         lists = swarm.visibility_lists()
         new = pos.copy()
         for i, vis in enumerate(lists):
+            if active is not None and i not in active:
+                continue
             pts = [tuple(pos[j]) for j in vis]
             (cx, cy), _ = smallest_enclosing_circle(pts, seed=i)
             target = np.array([cx, cy])

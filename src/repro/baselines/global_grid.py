@@ -47,11 +47,13 @@ class GlobalVisionGatherer:
             dy = _sign_step(cy - y)
             if dx or dy:
                 moves[(x, y)] = (x + dx, y + dy)
-        self.total_moves += len(moves)
         return moves
 
     def notify_applied(self, state, round_index, moves, merged) -> None:
-        pass
+        # The [SN14] cost measure counts moves that actually happened —
+        # under SSYNC the scheduler drops non-activated robots' planned
+        # moves, so counting here (not in plan_round) stays honest.
+        self.total_moves += len(moves)
 
 
 def gather_global(

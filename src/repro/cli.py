@@ -3,7 +3,10 @@
 Every simulation command runs through the unified facade
 (:func:`repro.api.simulate`): ``--strategy``/``--scheduler`` select any
 registered workload/time model, ``--seed`` pins everything stochastic,
-and ``--json`` prints a machine-readable summary to stdout.
+and ``--json`` prints a machine-readable summary to stdout.  The SSYNC
+schedulers (``--scheduler ssync`` / ``ssync-faulty``) add
+``--activation``, ``--activation-p``, ``--rr-k``, ``--k-fairness``,
+``--fault-rate`` and ``--crash-rate`` (see docs/schedulers.md).
 
 Commands
 --------
@@ -75,6 +78,45 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="seed for stochastic families/schedulers (reproducible runs)",
     )
+    # SSYNC scheduler knobs (only valid with --scheduler ssync or
+    # ssync-faulty; the facade rejects other combinations loudly).
+    p.add_argument(
+        "--activation",
+        default=None,
+        choices=["uniform", "round_robin", "adversarial"],
+        help="ssync activation policy (default: uniform)",
+    )
+    p.add_argument(
+        "--activation-p",
+        type=float,
+        default=None,
+        help="ssync uniform activation probability (default 0.5)",
+    )
+    p.add_argument(
+        "--rr-k",
+        type=int,
+        default=None,
+        help="ssync round-robin class count (default 3)",
+    )
+    p.add_argument(
+        "--k-fairness",
+        type=int,
+        default=None,
+        help="ssync fairness bound: activate everyone within k rounds "
+        "(default 8)",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        help="per-robot per-round transient sleep-fault probability",
+    )
+    p.add_argument(
+        "--crash-rate",
+        type=float,
+        default=None,
+        help="per-robot per-round crash-stop hazard",
+    )
     p.add_argument(
         "--radius", type=int, default=None, help="viewing radius override"
     )
@@ -88,12 +130,43 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+#: Exceptions the facade raises for bad strategy/scheduler/flag
+#: combinations — argparse validates each flag alone, the facade the
+#: combination.  TypeError covers scheduler-option mismatches (e.g.
+#: ``--fault-rate`` with ``--scheduler fsync``), whose message names the
+#: valid registry keys.
+_USAGE_ERRORS = (KeyError, ValueError, TypeError)
+
+
 def _fail(exc: BaseException) -> int:
-    """Clean CLI error for invalid strategy/family/scheduler combos —
-    argparse validates each flag alone, the facade the combination."""
+    """Clean CLI error for invalid strategy/family/scheduler combos."""
     msg = exc.args[0] if exc.args else str(exc)
     print(f"error: {msg}", file=sys.stderr)
     return 2
+
+
+def _scheduler_options(args: argparse.Namespace) -> dict:
+    """SSYNC flags the user actually set, as ``simulate()`` options.
+
+    Unset flags are omitted entirely, so plain fsync/async runs carry no
+    scheduler options and incompatible combinations (an SSYNC flag with
+    a non-SSYNC scheduler) fail in the facade with a message naming the
+    registered schedulers.
+    """
+    mapping = {
+        "activation": "activation",
+        "activation_p": "activation_p",
+        "rr_k": "rr_k",
+        "k_fairness": "k_fairness",
+        "fault_rate": "sleep_rate",
+        "crash_rate": "crash_rate",
+    }
+    out = {}
+    for attr, option in mapping.items():
+        value = getattr(args, attr, None)
+        if value is not None:
+            out[option] = value
+    return out
 
 
 def _config(args: argparse.Namespace) -> AlgorithmConfig:
@@ -116,8 +189,9 @@ def cmd_gather(args: argparse.Namespace) -> int:
             scheduler=args.scheduler,
             config=_config(args),
             seed=args.seed,
+            **_scheduler_options(args),
         )
-    except (KeyError, ValueError) as exc:
+    except _USAGE_ERRORS as exc:
         return _fail(exc)
     if args.json:
         print(json.dumps({"family": args.family, **result.summary()}))
@@ -147,7 +221,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
             Scenario(family=args.family, n=args.n),
             SimContext(seed=args.seed),
         )
-    except (KeyError, ValueError) as exc:
+    except _USAGE_ERRORS as exc:
         return _fail(exc)
     if any(
         not (isinstance(x, int) and isinstance(y, int)) for x, y in cells
@@ -181,11 +255,20 @@ def cmd_watch(args: argparse.Namespace) -> int:
             max_rounds=args.max_rounds,
             on_round=show,
             **options,
+            **_scheduler_options(args),
         )
-    except (KeyError, ValueError) as exc:
+    except _USAGE_ERRORS as exc:
         return _fail(exc)
-    print(f"\ngathered after {result.rounds} rounds")
-    return 0
+    if result.gathered:
+        print(f"\ngathered after {result.rounds} rounds")
+        return 0
+    reason = (
+        "connectivity lost"
+        if result.events.of_kind("connectivity_lost")
+        else "round budget exhausted"
+    )
+    print(f"\nnot gathered after {result.rounds} rounds ({reason})")
+    return 1
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -209,13 +292,15 @@ def cmd_scale(args: argparse.Namespace) -> int:
             sizes,
             _config(args),
             strategy=args.strategy,
+            scheduler=args.scheduler,
+            scheduler_options=_scheduler_options(args),
             check_connectivity=False,
             seeds=(
                 [args.seed] * len(sizes) if args.seed is not None else None
             ),
             workers=args.jobs,
         )
-    except (KeyError, ValueError) as exc:
+    except _USAGE_ERRORS as exc:
         return _fail(exc)
     ns = [p.n for p in points]
     rnds = [max(p.rounds, 1) for p in points]
@@ -227,6 +312,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
                 {
                     "family": args.family,
                     "strategy": args.strategy,
+                    "scheduler": points[0].scheduler if points else None,
                     "exponent": round(exp, 4),
                     "slope": round(lin.coefficients[0], 4),
                     "r_squared": round(lin.r_squared, 4),

@@ -1,10 +1,15 @@
-"""Simulation engines: FSYNC (paper's time model) and ASYNC (baselines).
+"""Simulation engines: FSYNC (paper's time model), ASYNC and SSYNC.
 
 The FSYNC engine implements the look-compute-move model of [CP04] as used by
 the paper: in every round all robots simultaneously take a snapshot, compute,
 and move; robots ending on the same cell merge.  The engine is algorithm-
 agnostic: any controller implementing :class:`Controller` can be simulated,
 which is how the core algorithm and the baselines share infrastructure.
+
+The ASYNC engine models the fair sequential scheduler (one robot at a
+time); the SSYNC engine (:mod:`repro.engine.ssync_scheduler`) activates
+adversarially chosen per-round subsets under a k-fairness bound, with
+optional seeded fault injection (:mod:`repro.engine.faults`).
 """
 
 from repro.engine.errors import (
@@ -13,6 +18,7 @@ from repro.engine.errors import (
     SimulationError,
 )
 from repro.engine.events import Event, EventLog
+from repro.engine.faults import FaultInjector
 from repro.engine.metrics import MetricsLog, RoundMetrics
 from repro.engine.protocols import (
     RunResult,
@@ -23,9 +29,20 @@ from repro.engine.protocols import (
 )
 from repro.engine.scheduler import Controller, FsyncEngine, GatherResult
 from repro.engine.async_scheduler import AsyncController, AsyncEngine
+from repro.engine.ssync_scheduler import (
+    ACTIVATION_POLICIES,
+    ActivationSchedule,
+    SsyncEngine,
+    make_policy,
+)
 from repro.engine.termination import default_round_budget, is_gathered
 
 __all__ = [
+    "ACTIVATION_POLICIES",
+    "ActivationSchedule",
+    "FaultInjector",
+    "SsyncEngine",
+    "make_policy",
     "ConnectivityViolation",
     "NotGathered",
     "SimulationError",

@@ -17,7 +17,9 @@ class Event:
     """One simulation event.
 
     ``kind`` is a short string tag (``"merge"``, ``"run_start"``,
-    ``"run_stop"``, ``"fold"``, ...); ``data`` carries kind-specific fields.
+    ``"run_stop"``, ``"fold"``, and under the SSYNC schedulers
+    ``"activation"``, ``"fault"``, ``"connectivity_violation"`` — see
+    docs/schedulers.md); ``data`` carries kind-specific fields.
     """
 
     round_index: int

@@ -1,0 +1,90 @@
+"""Seeded per-robot fault injection for adversarial schedulers.
+
+Two classic fault classes from the robots-gathering literature:
+
+* **transient sleep** — an activated robot fails to perform its
+  look-compute-move cycle this round (it behaves as if the scheduler had
+  not activated it).  Memoryless: the robot is back to normal next round.
+* **crash-stop** — the robot permanently stops acting.  It keeps its
+  position (other robots can still merge onto it), but it never again
+  looks, computes, or moves.
+
+Fault *draws* are what this module owns; fault *state* (the set of
+crashed robots, which must survive token renames when robots merge) is
+owned by :class:`repro.engine.ssync_scheduler.ActivationSchedule`.
+
+Determinism contract: ``draw`` consumes exactly one RNG value per alive
+robot per fault class with a non-zero rate, iterating the roster in the
+order given (callers pass the canonical sorted roster).  Two runs with
+the same seed, rates, and robot history therefore produce identical
+fault schedules — the property the reproducibility tests pin.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Set, Tuple, TypeVar
+
+Token = TypeVar("Token")
+
+
+class FaultInjector:
+    """Seeded drawer of per-robot, per-round fault events.
+
+    Parameters
+    ----------
+    sleep_rate:
+        Probability that a robot suffers a transient sleep fault in a
+        given round (``0.0`` disables, skipping the draws entirely).
+    crash_rate:
+        Per-round crash-stop hazard: each alive robot crashes this round
+        with this probability.  Once crashed, a robot is excluded from
+        every future roster (the schedule enforces that), so the hazard
+        applies only while alive.
+    seed:
+        Seeds the private RNG; fault draws never share an RNG with
+        activation policies, so turning faults on or off does not change
+        the activation schedule of the surviving robots.
+    """
+
+    def __init__(
+        self,
+        sleep_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        for name, rate in (("sleep_rate", sleep_rate),
+                           ("crash_rate", crash_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {rate!r}"
+                )
+        self.sleep_rate = float(sleep_rate)
+        self.crash_rate = float(crash_rate)
+        self.rng = random.Random(seed)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class can actually fire."""
+        return self.sleep_rate > 0.0 or self.crash_rate > 0.0
+
+    def draw(
+        self, round_index: int, roster: Iterable[Token]
+    ) -> Tuple[Set[Token], Set[Token]]:
+        """Draw this round's faults for the alive ``roster``.
+
+        Returns ``(sleeping, newly_crashed)`` token sets.  A robot can be
+        drawn for both in the same round; crash-stop wins (the schedule
+        records it as crashed, not slept).
+        """
+        sleeping: Set[Token] = set()
+        crashed: Set[Token] = set()
+        if self.crash_rate > 0.0:
+            for token in roster:
+                if self.rng.random() < self.crash_rate:
+                    crashed.add(token)
+        if self.sleep_rate > 0.0:
+            for token in roster:
+                if self.rng.random() < self.sleep_rate:
+                    sleeping.add(token)
+        return sleeping, crashed

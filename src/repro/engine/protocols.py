@@ -15,9 +15,11 @@ strategies can depend on the *types* without importing the registry:
   ``EuclideanResult`` / ``ChainResult`` / ``ClosedChainResult``;
 * :class:`Strategy` / :class:`Scheduler` — the two registry protocols;
 * the *program* types schedulers drive: :class:`FsyncProgram` and
-  :class:`AsyncProgram` (engine-backed), and :class:`SteppedProgram`
+  :class:`AsyncProgram` (engine-backed), :class:`SteppedProgram`
   (bespoke self-clocked FSYNC loops: Euclidean go-to-center and the two
-  chain gatherers).
+  chain gatherers), and :class:`SsyncSteppable` (stepped programs that
+  additionally support per-robot subset activation for the SSYNC
+  scheduler).
 
 See ``docs/api.md`` for the full facade contract and the migration
 table from the old per-workload entry points.
@@ -122,10 +124,15 @@ class RunResult:
     minimal chain for chain shortening).  ``metrics`` and ``events`` are
     populated for *every* strategy (the legacy chain/Euclidean entry
     points recorded neither); ``events`` always ends with a terminal
-    ``gathered`` / ``budget_exhausted`` event.  ``final_state`` is the
+    ``gathered`` / ``budget_exhausted`` event (or ``connectivity_lost``
+    when an SSYNC run broke the algorithm's connectivity invariant), and
+    the SSYNC schedulers add per-round ``activation`` and ``fault``
+    events (schema in ``docs/schedulers.md``).  ``final_state`` is the
     strategy's native state object (:class:`~repro.grid.occupancy.
     SwarmState` for grid workloads, an ``EuclideanSwarm`` for the
-    continuous baseline, a cell list for chains).  ``extras`` carries
+    continuous baseline, a cell list for chains).  ``activations``
+    counts total robot-activations under the ``async`` and ``ssync``
+    schedulers (``None`` elsewhere).  ``extras`` carries
     strategy-specific scalars/series (e.g. ``total_moves``,
     ``optimal_length``, ``diameters``); ``initial_diameter`` is always
     present.  ``trajectory`` holds per-round snapshots when
@@ -243,6 +250,36 @@ class SteppedProgram(Protocol):
     def result_fields(self) -> Dict[str, Any]: ...
 
 
+@runtime_checkable
+class SsyncSteppable(Protocol):
+    """A stepped program that also supports per-robot subset activation,
+    making it drivable by the SSYNC scheduler
+    (:mod:`repro.engine.ssync_scheduler`).
+
+    ``ssync_roster`` returns *stable* robot tokens in canonical order —
+    array indices for the Euclidean program, wrapper-maintained ids for
+    the open chain, node ids for the closed chain.  Tokens must survive
+    rounds unchanged for as long as the robot exists; robots that leave
+    (chain contractions) simply drop out of the roster.
+
+    ``ssync_step`` executes one round in which only the robots in
+    ``active`` perform their look-compute-move cycle, records the same
+    per-round metrics/events as ``step``, and returns a token-rename
+    mapping (old token -> new token) for drivers whose identities shift
+    — programs with stable tokens return an empty mapping.
+    """
+
+    def ssync_roster(self) -> List[Any]: ...
+
+    def ssync_step(
+        self,
+        round_index: int,
+        active: Any,
+        metrics: MetricsLog,
+        events: EventLog,
+    ) -> Dict[Any, Any]: ...
+
+
 # ----------------------------------------------------------------------
 # Registry protocols
 # ----------------------------------------------------------------------
@@ -273,9 +310,16 @@ class Strategy(Protocol):
 @runtime_checkable
 class Scheduler(Protocol):
     """A registered time model: drives a strategy-built program to
-    completion and wraps the outcome into a :class:`RunResult`."""
+    completion and wraps the outcome into a :class:`RunResult`.
+
+    ``option_names`` declares the ``simulate(**options)`` keywords the
+    scheduler consumes (popped from ``SimContext.options`` inside
+    ``drive``); the facade validates leftover options against it, so
+    misspelled keywords still fail loudly before the run starts.
+    """
 
     key: str
     description: str
+    option_names: Tuple[str, ...]
 
     def drive(self, program: Any, ctx: SimContext) -> RunResult: ...

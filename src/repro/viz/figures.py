@@ -6,6 +6,10 @@ runs the *actual* library machinery on it (boundary extraction, pattern
 matching, run management, the full engine), and renders the result as text
 art — so the gallery doubles as an end-to-end visual test of fidelity.
 ``examples/figure_gallery.py`` prints all of them.
+
+Figure 22 is repo-original (no paper counterpart): the SSYNC robustness
+curve — gathering time versus activation probability per strategy
+(docs/schedulers.md explains the model).
 """
 
 from __future__ import annotations
@@ -355,13 +359,54 @@ def _fig21() -> str:
     )
 
 
+def _fig22() -> str:
+    """SSYNC robustness: rounds to gather vs activation probability."""
+    from repro.analysis.tables import format_table
+    from repro.analysis.experiments import run_robustness
+
+    strategies = ["grid", "global", "async_greedy"]
+    probs = [0.5, 0.75, 1.0]
+    points = run_robustness(
+        strategies, probs, n=12, seed=1, max_rounds=2000
+    )
+    by_strategy = {s: {} for s in strategies}
+    for pt in points:
+        by_strategy[pt.strategy][pt.activation_p] = (
+            pt.rounds if pt.gathered else -1
+        )
+    rows = [
+        tuple(
+            [f"{p:.2f}"]
+            + [
+                "stalled"
+                if by_strategy[s][p] < 0
+                else by_strategy[s][p]
+                for s in strategies
+            ]
+        )
+        for p in probs
+    ]
+    table = format_table(
+        ["p(active)"] + strategies,
+        rows,
+        title="rounds to gather under SSYNC(uniform-p), n~12",
+    )
+    return (
+        "Figure 22 (repo-original) — SSYNC robustness: rounds to gather\n"
+        "vs activation probability, each strategy on its worst-case\n"
+        "family (p = 1.00 is the FSYNC baseline; 'stalled' = budget\n"
+        "exhausted before gathering).  Sweep: analysis.experiments.\n"
+        "run_robustness; model: docs/schedulers.md.\n" + table
+    )
+
+
 FIGURES: Dict[str, Callable[[], str]] = {
     f"fig{i}": fn
     for i, fn in enumerate(
         [
             _fig1, _fig2, _fig3, _fig4, _fig5, _fig6, _fig7, _fig8, _fig9,
             _fig10, _fig11, _fig12, _fig13, _fig14, _fig15, _fig16, _fig17,
-            _fig18, _fig19, _fig20, _fig21,
+            _fig18, _fig19, _fig20, _fig21, _fig22,
         ],
         start=1,
     )

@@ -128,3 +128,56 @@ class TestCommands:
         assert rc == 0
         assert payload["strategies"] == ["grid", "chain"]
         assert set(payload["rows"][0]) == {"n", "grid", "chain"}
+
+
+class TestSsyncFlags:
+    def test_gather_ssync(self, capsys):
+        rc = main(["gather", "--family", "line", "-n", "16",
+                   "--scheduler", "ssync", "--activation-p", "0.8",
+                   "--seed", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["scheduler"] == "ssync"
+        assert payload["gathered"] is True
+        assert payload["events"]["activation"] == payload["rounds"]
+
+    def test_gather_ssync_faulty(self, capsys):
+        rc = main(["gather", "--family", "line", "-n", "16",
+                   "--scheduler", "ssync-faulty", "--fault-rate", "0.2",
+                   "--seed", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["events"].get("fault", 0) > 0
+
+    def test_scale_ssync_sweep_axis(self, capsys):
+        rc = main(["scale", "--family", "line", "--sizes", "12", "16",
+                   "--scheduler", "ssync", "--activation-p", "0.9",
+                   "--seed", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["scheduler"] == "ssync"
+
+    def test_ssync_flag_with_fsync_names_registry_keys(self, capsys):
+        # The bugfix contract: an invalid --scheduler/flag combination
+        # must name the valid registry keys, not fail generically.
+        rc = main(["gather", "--scheduler", "fsync",
+                   "--fault-rate", "0.1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        for key in ("'fsync'", "'ssync'", "'ssync-faulty'", "'async'"):
+            assert key in err, f"{key} missing from: {err}"
+
+    def test_unknown_scheduler_choice_lists_keys(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gather", "--scheduler", "nope"])
+        err = capsys.readouterr().err
+        assert "ssync" in err  # argparse choices name the registry
+
+    def test_watch_reports_connectivity_loss_honestly(self, capsys):
+        rc = main(["watch", "--family", "ring", "-n", "24",
+                   "--scheduler", "ssync", "--activation-p", "0.3",
+                   "--seed", "5", "--max-rounds", "40"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "not gathered" in out and "connectivity lost" in out

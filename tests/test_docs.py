@@ -1,0 +1,34 @@
+"""Documentation integrity: intra-repo markdown links must resolve and
+the docs landing page must cover every guide.
+
+Runs the same checker as the CI ``docs`` job (``tools/check_docs.py``),
+so a broken link fails tier-1 locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from check_docs import broken_links, iter_markdown  # noqa: E402
+
+
+class TestDocsLinks:
+    def test_all_relative_links_resolve(self):
+        broken = broken_links(REPO)
+        assert not broken, "broken markdown links: " + ", ".join(
+            f"{md} -> {target}" for md, target in broken
+        )
+
+    def test_docs_are_scanned(self):
+        names = {p.name for p in iter_markdown(REPO)}
+        assert {"README.md", "api.md", "schedulers.md",
+                "incremental.md"} <= names
+
+    def test_landing_page_links_every_guide(self):
+        landing = (REPO / "docs" / "README.md").read_text()
+        for guide in ("api.md", "schedulers.md", "incremental.md"):
+            assert f"({guide})" in landing, f"docs/README.md misses {guide}"

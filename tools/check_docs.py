@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every ``*.md`` file in the repo (skipping hidden and vendored
+directories) for inline links/images ``[text](target)`` and verifies
+that each *relative* target exists on disk, resolved against the linking
+file's directory.  External targets (``http(s)://``, ``mailto:``) and
+pure in-page anchors (``#section``) are skipped; a ``file#anchor``
+target is checked for the file part only.
+
+Exit status 0 when every link resolves, 1 otherwise (broken links are
+listed one per line) — the CI ``docs`` job and
+``tests/test_docs.py`` both run this.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+#: Reference-style definitions are rare here and intentionally ignored.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_DIRS = {
+    ".git", ".github", "__pycache__", ".pytest_cache", "node_modules",
+}
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """All (file, target) pairs whose relative target does not exist."""
+    out: List[Tuple[Path, str]] = []
+    for md in iter_markdown(root):
+        text = md.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if (md.parent / file_part).exists():
+                continue
+            out.append((md.relative_to(root), target))
+    return out
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    broken = broken_links(root.resolve())
+    if broken:
+        for md, target in broken:
+            print(f"BROKEN {md}: ({target})")
+        print(f"{len(broken)} broken markdown link(s)", file=sys.stderr)
+        return 1
+    count = sum(1 for _ in iter_markdown(root.resolve()))
+    print(f"all intra-repo markdown links resolve ({count} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
