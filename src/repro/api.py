@@ -76,7 +76,7 @@ from repro.engine.protocols import (
     SteppedProgram,
     Strategy,
 )
-from repro.engine.scheduler import FsyncEngine
+from repro.engine.scheduler import FsyncEngine, close_controller
 from repro.engine.ssync_scheduler import (
     ActivationSchedule,
     SsyncEngine,
@@ -218,7 +218,10 @@ class FsyncScheduler:
             track_boundary=ctx.track_boundary,
             on_round=ctx.on_round,
         )
-        res = engine.run(max_rounds=ctx.max_rounds)
+        try:
+            res = engine.run(max_rounds=ctx.max_rounds)
+        finally:
+            close_controller(program.controller)
         extras = dict(program.extras_fn()) if program.extras_fn else {}
         return RunResult(
             strategy="",
@@ -253,7 +256,10 @@ class AsyncScheduler:
             check_connectivity=program.check_connectivity,
             on_round=ctx.on_round,
         )
-        res = engine.run(max_rounds=ctx.max_rounds)
+        try:
+            res = engine.run(max_rounds=ctx.max_rounds)
+        finally:
+            close_controller(program.controller)
         return RunResult(
             strategy="",
             scheduler=self.key,
@@ -358,7 +364,10 @@ class _SsyncSchedulerBase:
                 track_boundary=ctx.track_boundary,
                 on_round=ctx.on_round,
             )
-            res = engine.run(max_rounds=ctx.max_rounds)
+            try:
+                res = engine.run(max_rounds=ctx.max_rounds)
+            finally:
+                close_controller(program.controller)
             extras_fn = getattr(program, "extras_fn", None)
             return RunResult(
                 strategy="",

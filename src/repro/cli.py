@@ -128,6 +128,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the incremental per-round pipeline (A/B baseline)",
     )
+    p.add_argument(
+        "--shard-planning",
+        action="store_true",
+        help="plan run reshapements in parallel shards (bit-identical "
+        "trajectories; a speedup only on GIL-free interpreters)",
+    )
+    p.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="worker threads for --shard-planning (default: min(4, CPUs))",
+    )
 
 
 #: Exceptions the facade raises for bad strategy/scheduler/flag
@@ -175,6 +187,16 @@ def _config(args: argparse.Namespace) -> AlgorithmConfig:
         kwargs["run_start_interval"] = args.interval
     if getattr(args, "full_scan", False):
         kwargs["incremental"] = False
+    if getattr(args, "shard_planning", False):
+        kwargs["shard_planning"] = True
+    shard_workers = getattr(args, "shard_workers", None)
+    if shard_workers is not None:
+        if not getattr(args, "shard_planning", False):
+            raise ValueError(
+                "--shard-workers requires --shard-planning (the worker "
+                "count only applies to the sharded planner)"
+            )
+        kwargs["shard_workers"] = shard_workers
     radius = getattr(args, "radius", None)
     if radius is not None:
         return AlgorithmConfig.with_radius(radius, **kwargs)
@@ -206,7 +228,10 @@ def cmd_gather(args: argparse.Namespace) -> int:
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
-    cfg = _config(args)
+    try:
+        cfg = _config(args)
+    except _USAGE_ERRORS as exc:
+        return _fail(exc)
     options = {}
     ctrl: Optional[GatherOnGrid] = None
     if args.strategy == "grid":

@@ -16,6 +16,8 @@ The controller plugs into :class:`repro.engine.FsyncEngine`.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.config import AlgorithmConfig
@@ -41,11 +43,37 @@ class GatherOnGrid:
         self._pipeline = (
             IncrementalPipeline(self.cfg) if self.cfg.incremental else None
         )
+        self._shard_pool: Optional[ThreadPoolExecutor] = None
 
     # Instrumentation read by the engine's metrics.
     @property
     def active_run_count(self) -> int:
         return self.run_manager.active_run_count
+
+    # ------------------------------------------------------------------
+    def _shard_executor(self) -> ThreadPoolExecutor:
+        """The lazily created planning pool (``cfg.shard_planning``).
+
+        The partition/reduce in :meth:`RunManager.plan` is
+        executor-agnostic — anything with an order-preserving ``map``
+        works; the stock pool uses threads, which are correct for the
+        pure-Python dict work and become a real speedup on GIL-free
+        interpreters.
+        """
+        if self._shard_pool is None:
+            workers = self.cfg.shard_workers or min(4, os.cpu_count() or 1)
+            self._shard_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="plan-shard"
+            )
+        return self._shard_pool
+
+    def close(self) -> None:
+        """Release the shard pool (engines call this after a run; safe
+        to call repeatedly, and a closed controller can plan again — the
+        pool is recreated on demand)."""
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown(wait=True)
+            self._shard_pool = None
 
     # ------------------------------------------------------------------
     def plan_round(
@@ -91,7 +119,15 @@ class GatherOnGrid:
             cfg.pipelining or round_index == 0
         )
         if starts_due:
-            sites = run_start_sites(contours.rings, cfg.start_straight_steps)
+            # Incremental mode reads the persistent start-site index
+            # (repaired per splice); full-rescan mode walks the contours.
+            # Both admit bit-identical runs (the equivalence suite pins
+            # it).
+            sites = (
+                pipeline.start_sites(state)
+                if pipeline is not None
+                else run_start_sites(contours.rings, cfg.start_straight_steps)
+            )
             started = self.run_manager.start_runs(
                 contours, sites, round_index, located
             )
@@ -107,9 +143,17 @@ class GatherOnGrid:
             if started:
                 located, lost = self.run_manager.locate(contours)
 
-        # Step 2: run operations.
+        # Step 2: run operations (optionally planned in parallel shards).
         run_moves = self.run_manager.plan(
-            contours, occupied, merge_moves, located, lost, round_index
+            contours,
+            occupied,
+            merge_moves,
+            located,
+            lost,
+            round_index,
+            executor=(
+                self._shard_executor() if cfg.shard_planning else None
+            ),
         )
         for robot, target in run_moves.items():
             self.events.emit(

@@ -67,6 +67,19 @@ class AlgorithmConfig:
     #: escape hatch.
     incremental: bool = True
 
+    #: Plan the per-run reshapement work in parallel shards (contiguous
+    #: groups of runs partitioned by contour).  Per-run planning is a
+    #: pure function of the round's shared read-only context, so any
+    #: partition is sound and results are reduced deterministically in
+    #: run-id order — trajectories are bit-identical with this on or off
+    #: (the equivalence suite asserts it).  Off by default: the stock
+    #: executor is a thread pool, which only pays off on
+    #: GIL-free interpreters or with very large per-contour run counts.
+    shard_planning: bool = False
+
+    #: Worker count for sharded planning; 0 picks ``min(4, cpu_count)``.
+    shard_workers: int = 0
+
     @classmethod
     def with_radius(cls, viewing_radius: int, **overrides) -> "AlgorithmConfig":
         """A config for a non-default viewing radius with the dependent
@@ -101,3 +114,7 @@ class AlgorithmConfig:
             )
         if self.start_straight_steps < 1:
             raise ValueError("start_straight_steps must be >= 1")
+        if self.shard_workers < 0:
+            raise ValueError(
+                "shard_workers must be >= 0 (0 = auto: min(4, cpu_count))"
+            )

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import AlgorithmConfig
 from repro.core.patterns import MergeCache, MergePattern
+from repro.core.quasiline import StartSite, StartSiteIndex
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
 from repro.grid.ring import RingSet
@@ -60,6 +61,12 @@ class IncrementalPipeline:
         self.cfg = cfg
         self.merge_cache = MergeCache(cfg)
         self.ring_set = RingSet()
+        # The start-site index rides the ring set's structural hooks:
+        # every splice repairs exactly the candidate heads whose windows
+        # the arc can reach, so start rounds read sites without walking
+        # contours.
+        self.site_index = StartSiteIndex(cfg.start_straight_steps)
+        self.ring_set.observer = self.site_index
         # The state is held by reference (not id()): a freed state's id
         # could be reused by a new SwarmState and alias stale caches.
         self._state: Optional[SwarmState] = None
@@ -103,6 +110,13 @@ class IncrementalPipeline:
         per-round :func:`repro.grid.boundary.extract_boundaries` call)."""
         self._sync(state)
         return self.ring_set
+
+    def start_sites(self, state: SwarmState) -> List[StartSite]:
+        """Run start sites from the persistent index — bit-identical
+        admissions to :func:`repro.core.quasiline.run_start_sites` over
+        the same contours, without the per-start-round contour walk."""
+        self._sync(state)
+        return self.site_index.sites(self.ring_set)
 
     def take_resplices(self) -> List[Tuple[int, int, int]]:
         """Drain the ``(ring_id, arc_sides, removed_sides)`` records of

@@ -19,11 +19,11 @@ spawns two runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.grid.boundary import Boundary
 from repro.grid.geometry import Cell, sub
-from repro.grid.ring import BoundaryRing
+from repro.grid.ring import BoundaryRing, RingNode, RingSet
 
 # ----------------------------------------------------------------------
 # Definition 1 predicates (analysis/tests; the algorithm uses start sites)
@@ -146,6 +146,70 @@ class StartSite:
     direction: int
     stretch_dir: Cell  # the cardinal direction of the quasi line ahead
     prev: Optional[Cell] = None
+    #: Occurrence-head ring node of the site, set only by the incremental
+    #: :class:`StartSiteIndex` (the full scan leaves it ``None``).  When
+    #: present, ``position`` is a dense per-contour rank in canonical
+    #: cycle order — same ordering as the full scan's cycle index, but
+    #: *not* a cyclic coordinate: consumers measure along-boundary
+    #: distances by walking from the node instead.
+    node: Optional[RingNode] = None
+
+
+def _scan_cycle_sites(
+    robots: Sequence[Cell], straight_steps: int
+) -> List[Tuple[int, int, Cell, Cell]]:
+    """Start-site scan of one robot cycle: ``(position, direction,
+    stretch_dir, prev)`` records in cycle order (direction +1 before -1
+    per position).  Shared by the full scan and the index's whole-ring
+    reindex so every representation yields byte-identical decisions.
+
+    Precomputes the forward step vectors once: the straightness probes
+    reduce to array comparisons instead of repeated per-(site,
+    direction, step) cell subtractions — this scan walks every boundary
+    robot and showed up in profiles.
+    """
+    out: List[Tuple[int, int, Cell, Cell]] = []
+    n = len(robots)
+    if n < straight_steps + 2:
+        return out
+    diffs: List[Cell] = []
+    px, py = robots[0]
+    for j in range(1, n + 1):
+        cx, cy = robots[j % n]
+        diffs.append((cx - px, cy - py))
+        px, py = cx, cy
+    for i in range(n):
+        for direction in (1, -1):
+            if direction == 1:
+                first = diffs[i]
+                if abs(first[0]) + abs(first[1]) != 1:
+                    continue
+                if any(
+                    diffs[(i + k) % n] != first
+                    for k in range(1, straight_steps)
+                ):
+                    continue
+                bx, by = diffs[i - 1]
+                behind = (-bx, -by)
+            else:
+                fx, fy = diffs[i - 1]
+                first = (-fx, -fy)
+                if abs(fx) + abs(fy) != 1:
+                    continue
+                if any(
+                    diffs[(i - k - 1) % n] != (fx, fy)
+                    for k in range(1, straight_steps)
+                ):
+                    continue
+                behind = diffs[i]
+            if behind == first:
+                continue  # mid-stretch, not an endpoint
+            if behind == (-first[0], -first[1]):
+                continue  # 1-thick line endpoint: leaf merges handle it
+            out.append(
+                (i, direction, first, robots[(i - direction) % n])
+            )
+    return out
 
 
 def run_start_sites(
@@ -174,56 +238,306 @@ def run_start_sites(
             if isinstance(boundary, BoundaryRing)
             else boundary.robots
         )
-        n = len(robots)
-        if n < straight_steps + 2:
-            continue
-        # Precompute the forward step vectors once: the straightness
-        # probes below reduce to array comparisons instead of repeated
-        # per-(site, direction, step) cell subtractions — this scan walks
-        # every boundary robot each start round and showed up in
-        # profiles.
-        diffs: List[Cell] = []
-        px, py = robots[0]
-        for j in range(1, n + 1):
-            cx, cy = robots[j % n]
-            diffs.append((cx - px, cy - py))
-            px, py = cx, cy
-        for i in range(n):
-            for direction in (1, -1):
-                if direction == 1:
-                    first = diffs[i]
-                    if abs(first[0]) + abs(first[1]) != 1:
-                        continue
-                    if any(
-                        diffs[(i + k) % n] != first
-                        for k in range(1, straight_steps)
-                    ):
-                        continue
-                    bx, by = diffs[i - 1]
-                    behind = (-bx, -by)
-                else:
-                    fx, fy = diffs[i - 1]
-                    first = (-fx, -fy)
-                    if abs(fx) + abs(fy) != 1:
-                        continue
-                    if any(
-                        diffs[(i - k - 1) % n] != (fx, fy)
-                        for k in range(1, straight_steps)
-                    ):
-                        continue
-                    behind = diffs[i]
-                if behind == first:
-                    continue  # mid-stretch, not an endpoint
-                if behind == (-first[0], -first[1]):
-                    continue  # 1-thick line endpoint: leaf merges handle it
-                sites.append(
-                    StartSite(
-                        boundary_index=b_idx,
-                        position=i,
-                        robot=robots[i],
-                        direction=direction,
-                        stretch_dir=first,
-                        prev=robots[(i - direction) % n],
-                    )
+        for i, direction, first, prev in _scan_cycle_sites(
+            robots, straight_steps
+        ):
+            sites.append(
+                StartSite(
+                    boundary_index=b_idx,
+                    position=i,
+                    robot=robots[i],
+                    direction=direction,
+                    stretch_dir=first,
+                    prev=prev,
                 )
+            )
     return sites
+
+
+# ----------------------------------------------------------------------
+# Incremental start-site index (persistent over ring nodes)
+# ----------------------------------------------------------------------
+#: A candidate at one occurrence head: ``(direction, stretch_dir, prev)``.
+_SiteEntry = Tuple[int, Cell, Cell]
+
+
+def head_entries(
+    ring: BoundaryRing, head: RingNode, straight_steps: int
+) -> Tuple[_SiteEntry, ...]:
+    """The start-site entries of one occurrence head, evaluated on the
+    live ring — byte-for-byte the decisions the diff-vector scan of
+    :func:`run_start_sites` makes for the corresponding cycle position
+    (``walk_heads`` wraps exactly like the scan's ``% n`` indexing).
+
+    Reads only the cells of the ``straight_steps`` occurrence heads on
+    either side of ``head`` — the locality the incremental index rests
+    on (see ``docs/incremental.md``).
+    """
+    s = straight_steps
+    back = ring.walk_heads(head, -1, s)
+    fwd = ring.walk_heads(head, 1, s)
+    hx, hy = head.cell
+    entries: List[_SiteEntry] = []
+
+    # direction +1: straight stretch ahead along the traversal.
+    fx, fy = fwd[0].cell
+    first = (fx - hx, fy - hy)
+    if abs(first[0]) + abs(first[1]) == 1:
+        px, py = fwd[0].cell
+        ok = True
+        for k in range(1, s):
+            cx, cy = fwd[k].cell
+            if (cx - px, cy - py) != first:
+                ok = False
+                break
+            px, py = cx, cy
+        if ok:
+            bx, by = back[0].cell
+            behind = (bx - hx, by - hy)
+            if behind != first and behind != (-first[0], -first[1]):
+                entries.append((1, first, back[0].cell))
+
+    # direction -1: straight stretch behind, traversed in reverse.
+    bx, by = back[0].cell
+    fstep = (hx - bx, hy - by)  # diffs[i-1] of the cycle scan
+    if abs(fstep[0]) + abs(fstep[1]) == 1:
+        first = (-fstep[0], -fstep[1])
+        px, py = back[0].cell
+        ok = True
+        for k in range(1, s):
+            cx, cy = back[k].cell
+            if (px - cx, py - cy) != fstep:
+                ok = False
+                break
+            px, py = cx, cy
+        if ok:
+            nx, ny = fwd[0].cell
+            behind = (nx - hx, ny - hy)
+            if behind != first and behind != (-first[0], -first[1]):
+                entries.append((-1, first, fwd[0].cell))
+    return tuple(entries)
+
+
+class StartSiteIndex:
+    """Persistent run-start-site candidates over :class:`RingNode` heads.
+
+    The full scan of :func:`run_start_sites` walks every boundary robot
+    each start round (amortized O(n / run_start_interval) per round).
+    This index keeps, per ring, the candidate entries of every occurrence
+    head, marks *dirty nodes* from the O(arc)
+    :meth:`~repro.grid.ring.RingSet` ``on_arc_spliced`` hook (appends
+    only — no walks, no predicate work on non-start rounds), and repairs
+    lazily at query time: every distinct dirty node is expanded to the
+    heads within ``margin = straight_steps + 1`` robot steps and exactly
+    those are recomputed, deduped across the whole inter-query window.
+
+    Invariants (mirrored in ``docs/incremental.md``):
+
+    * **Window locality** — a head's entries read only the cells of heads
+      within ``straight_steps`` robot steps, and every cell change comes
+      with spliced sides, so any head whose entries can differ is within
+      ``margin`` heads of a node reported by some splice hook (anchors
+      ``a``/``b``, removed nodes, inserted nodes);
+    * **Liveness before walking** — a marked node is expanded only if it
+      is still the registered node of its side
+      (``ring_set.node_of[side] is node``); dead marks only drop their
+      stale bucket entry (keyed by the ring id at mark time, so a node
+      object reused by *another* ring cannot leave a ghost behind);
+    * **Ring lifecycle by id** — ring ids are never reused outside a
+      full rebuild (which voids everything), so buckets of vanished ids
+      are dropped and unseen ids fully indexed at query time — doomed
+      rings, reseeded cycles, and rebuild fallbacks need no hooks;
+    * **Canonical order without walks** — query-time ordering uses the
+      nodes' ring order labels relative to the canonical head, so the
+      emitted sites are in exactly the full scan's cycle order while the
+      cyclic *positions* themselves are never materialized.
+    """
+
+    def __init__(self, straight_steps: int) -> None:
+        self.straight_steps = straight_steps
+        self._margin = straight_steps + 1
+        # ring_id -> {occurrence head -> entries}
+        self._entries: Dict[int, Dict[RingNode, Tuple[_SiteEntry, ...]]] = {}
+        # (ring_id at mark time, node) accumulated since the last query,
+        # deduped at mark time; once a ring has enough distinct marks
+        # that a wholesale reindex is cheaper than per-mark expansion it
+        # is *saturated*: marks stop accumulating for it entirely (rings
+        # dense with runners hit this within a couple of rounds, keeping
+        # the inter-query mark volume bounded by the contour sizes).
+        self._dirty: List[Tuple[int, RingNode]] = []
+        self._marked: Set[Tuple[int, int]] = set()
+        self._mark_counts: Dict[int, int] = {}
+        self._saturated: Set[int] = set()
+
+    # -- RingSet observer callbacks (O(arc), defer all real work) ------
+    def on_rebuild(self, ring_set: RingSet) -> None:
+        # Eager reset only; the fresh rings are indexed at next query.
+        self._entries = {}
+        self._dirty = []
+        self._marked = set()
+        self._mark_counts = {}
+        self._saturated = set()
+
+    def on_arc_spliced(
+        self,
+        ring: BoundaryRing,
+        a: RingNode,
+        b: RingNode,
+        old_nodes: List[RingNode],
+        new_nodes: List[RingNode],
+    ) -> None:
+        rid = ring.ring_id
+        saturated = self._saturated
+        if rid in saturated:
+            return
+        dirty = self._dirty
+        marked = self._marked
+        count = self._mark_counts.get(rid, 0)
+        for node in (a, b, *old_nodes, *new_nodes):
+            key = (rid, id(node))
+            if key in marked:
+                continue
+            marked.add(key)
+            dirty.append((rid, node))
+            count += 1
+        if count * (2 * self._margin + 1) >= len(ring):
+            saturated.add(rid)
+        else:
+            self._mark_counts[rid] = count
+
+    # -- internals -----------------------------------------------------
+    def _all_heads(self, ring: BoundaryRing) -> List[RingNode]:
+        n = len(ring)
+        if n == 0:
+            return []
+        first = ring.occurrence_head(ring.head)
+        return [first] + ring.walk_heads(first, 1, n - 1)
+
+    def _index_ring(self, ring: BoundaryRing) -> None:
+        """Wholesale (re)index of one ring: one head walk plus the same
+        array diff-scan the full :func:`run_start_sites` path runs, so a
+        saturated ring costs what a full scan of that ring costs."""
+        bucket: Dict[RingNode, Tuple[_SiteEntry, ...]] = {}
+        self._entries[ring.ring_id] = bucket
+        heads = self._all_heads(ring)
+        records = _scan_cycle_sites(
+            [h.cell for h in heads], self.straight_steps
+        )
+        for i, direction, stretch_dir, prev in records:
+            head = heads[i]
+            bucket[head] = bucket.get(head, ()) + (
+                (direction, stretch_dir, prev),
+            )
+
+    def _flush(self, ring_set: RingSet) -> None:
+        """Bring the buckets up to date with the live ring structure."""
+        entries = self._entries
+        dirty = self._dirty
+        saturated = self._saturated
+        if dirty or saturated:
+            self._dirty = []
+            self._marked = set()
+            self._mark_counts = {}
+            self._saturated = set()
+            node_of = ring_set.node_of
+            margin = self._margin
+            # Saturated rings first: one wholesale pass per ring; their
+            # marks below are then skipped (pops would tear holes into
+            # the freshly built buckets).
+            if saturated:
+                for ring in ring_set.rings:
+                    if ring.ring_id in saturated:
+                        self._index_ring(ring)
+            live_by_ring: Dict[int, List[RingNode]] = {}
+            for rid, node in dirty:
+                if rid not in saturated:
+                    bucket = entries.get(rid)
+                    if bucket is not None:
+                        bucket.pop(node, None)
+                if node_of.get((node.cell, node.normal)) is not node:
+                    continue  # side gone: dropping its entry is enough
+                ring = node.ring
+                assert ring is not None
+                if ring.ring_id in saturated:
+                    continue  # wholesale reindexed above
+                live_by_ring.setdefault(ring.ring_id, []).append(node)
+            s = self.straight_steps
+            for rid, nodes in live_by_ring.items():
+                ring = nodes[0].ring
+                bucket = entries.get(rid)
+                if bucket is None:
+                    continue  # unseen ring: fully indexed below
+                n = len(ring)
+                if len(nodes) * (2 * margin + 1) >= n:
+                    # Most of the contour is dirty: one clean pass beats
+                    # per-mark expansion walks.
+                    self._index_ring(ring)
+                    continue
+                heads: Dict[int, RingNode] = {}
+                for node in nodes:
+                    h = ring.occurrence_head(node)
+                    heads[id(h)] = h
+                    for hh in ring.walk_heads(h, 1, margin):
+                        heads[id(hh)] = hh
+                    for hh in ring.walk_heads(h, -1, margin):
+                        heads[id(hh)] = hh
+                ce = ring._change_edges
+                for h in heads.values():
+                    if ce and h.prev.cell == h.cell:
+                        bucket.pop(h, None)  # absorbed into an occurrence
+                        continue
+                    es = head_entries(ring, h, s)
+                    if es:
+                        bucket[h] = es
+                    else:
+                        bucket.pop(h, None)
+        # Ring lifecycle: index ids never seen, drop ids that vanished.
+        live_ids: Set[int] = set()
+        for ring in ring_set.rings:
+            live_ids.add(ring.ring_id)
+            if ring.ring_id not in entries:
+                self._index_ring(ring)
+        if len(entries) != len(live_ids):
+            for rid in [r for r in entries if r not in live_ids]:
+                del entries[rid]
+
+    # -- queries -------------------------------------------------------
+    def sites(self, ring_set: RingSet) -> List[StartSite]:
+        """All current start sites, ordered exactly like the full scan
+        (contour, then canonical cycle order, then direction emission);
+        every site carries its head node and a dense per-contour rank as
+        ``position``."""
+        self._flush(ring_set)
+        out: List[StartSite] = []
+        s = self.straight_steps
+        for b_idx, ring in enumerate(ring_set.rings):
+            if len(ring) < s + 2:
+                continue  # the full scan skips degenerate cycles
+            bucket = self._entries.get(ring.ring_id)
+            if not bucket:
+                continue
+            # Ring order from the canonical head via order labels: one
+            # descent on the label cycle, so "label >= head label" splits
+            # the ring into the before/after-wrap halves.
+            h0 = ring.occurrence_head(ring.head)
+            o0 = h0.order
+            keyed = []
+            for node, entries in bucket.items():
+                assert node.ring is ring, "stale start-site index entry"
+                o = node.order
+                keyed.append(((0, o) if o >= o0 else (1, o), node, entries))
+            keyed.sort(key=lambda item: item[0])
+            for rank, (_key, node, entries) in enumerate(keyed):
+                for direction, stretch_dir, prev in entries:
+                    out.append(
+                        StartSite(
+                            boundary_index=b_idx,
+                            position=rank,
+                            robot=node.cell,
+                            direction=direction,
+                            stretch_dir=stretch_dir,
+                            prev=prev,
+                            node=node,
+                        )
+                    )
+        return out

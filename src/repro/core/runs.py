@@ -162,11 +162,23 @@ class RunManager:
         located_nodes: Dict[int, List[RingNode]] = {}
         for rid, loc in located.items():
             located_nodes.setdefault(loc.b_idx, []).append(loc.node)
-        # Canonical cycle positions of the located runs, per contour;
-        # resolved lazily via one ring walk because this runs only every
-        # ``run_start_interval`` rounds and only for contours whose sites
-        # pass through the spacing filter.
+        # Spacing state, resolved lazily per contour because this runs
+        # only every ``run_start_interval`` rounds and only for contours
+        # whose sites pass through the spacing filter.  Two equivalent
+        # representations:
+        #
+        # * full-scan sites carry canonical cycle positions — cyclic
+        #   distances against the located runs' positions (one ring walk
+        #   per contour via ``positions_map``);
+        # * index sites carry head *nodes* — the crowded neighborhoods
+        #   (all heads within viewing distance of a located run, walked
+        #   locally: O(runs x radius), never O(contour)) are precomputed
+        #   and membership replaces the distance comparison.  The walks
+        #   mark heads at distance 1..R, so the "distance 0 is the same
+        #   robot" admission below is preserved verbatim.
         occupied_positions: Dict[int, List[int]] = {}
+        crowded_heads: Dict[int, set] = {}
+        radius = self.cfg.viewing_radius
 
         def positions_for(b_idx: int) -> List[int]:
             lst = occupied_positions.get(b_idx)
@@ -179,6 +191,22 @@ class RunManager:
                     lst = []
                 occupied_positions[b_idx] = lst
             return lst
+
+        def mark_crowded(crowd: set, ring, node: RingNode) -> None:
+            for h in ring.walk_heads(node, 1, radius):
+                crowd.add(id(h))
+            for h in ring.walk_heads(node, -1, radius):
+                crowd.add(id(h))
+
+        def crowded_for(b_idx: int) -> set:
+            crowd = crowded_heads.get(b_idx)
+            if crowd is None:
+                crowd = set()
+                ring = rings[b_idx]
+                for nd in located_nodes.get(b_idx, ()):
+                    mark_crowded(crowd, ring, nd)
+                crowded_heads[b_idx] = crowd
+            return crowd
 
         existing_keys = {
             (r.robot, r.direction) for r in self.runs.values()
@@ -197,16 +225,22 @@ class RunManager:
             n = len(rings[site.boundary_index])
             too_close = False
             if n > short:
-                for pos in positions_for(site.boundary_index):
-                    dist = min(
-                        (pos - site.position) % n, (site.position - pos) % n
+                if site.node is not None:
+                    too_close = id(site.node) in crowded_for(
+                        site.boundary_index
                     )
-                    # distance 0 is the same robot: the paper's Start-B
-                    # places two runs (opposite directions) on one
-                    # endpoint robot.
-                    if 0 < dist <= self.cfg.viewing_radius:
-                        too_close = True
-                        break
+                else:
+                    for pos in positions_for(site.boundary_index):
+                        dist = min(
+                            (pos - site.position) % n,
+                            (site.position - pos) % n,
+                        )
+                        # distance 0 is the same robot: the paper's
+                        # Start-B places two runs (opposite directions)
+                        # on one endpoint robot.
+                        if 0 < dist <= self.cfg.viewing_radius:
+                            too_close = True
+                            break
             if not too_close:
                 for rc in runner_cells:
                     if rc != site.robot and l1_distance(rc, site.robot) <= 2:
@@ -231,8 +265,15 @@ class RunManager:
             runner_cells.add(run.robot)
             if n > short:
                 # feed the spacing filter of later sites on this contour
-                # (short contours never read the list — skip the walk)
-                positions_for(site.boundary_index).append(site.position)
+                # (short contours never read the state — skip the walk)
+                if site.node is not None:
+                    mark_crowded(
+                        crowded_for(site.boundary_index),
+                        rings[site.boundary_index],
+                        site.node,
+                    )
+                else:
+                    positions_for(site.boundary_index).append(site.position)
             started.append(run)
         return started
 
@@ -329,13 +370,27 @@ class RunManager:
         located: Mapping[int, RunLocation],
         lost: Sequence[int],
         round_index: int = -1,
+        executor=None,
     ) -> Dict[Cell, Cell]:
-        """Decide every run's action; returns the runner fold moves."""
+        """Decide every run's action; returns the runner fold moves.
+
+        Three phases: build the round's shared read-only context, plan
+        each run against it (:meth:`_plan_one` is a pure function of
+        that context, so runs may be planned in any order or
+        concurrently), and reduce the results deterministically in
+        run-id order.  ``executor`` is anything with an order-preserving
+        ``map`` (e.g. :class:`~concurrent.futures.ThreadPoolExecutor`);
+        ``None`` plans serially.  Serial and sharded planning are
+        bit-identical by construction: the only cross-run coupling — two
+        runs sharing a robot cell, where the first by run id claims the
+        fold — lives in the serial reduce.
+        """
         cfg = self.cfg
         self._planned = []
         run_moves: Dict[Cell, Cell] = {}
 
-        # occurrence nodes of all located runs, for rules 1 and passing
+        # Shared context: occurrence nodes of all located runs (for
+        # rules 1 and passing), per-contour run counts, runner cells.
         at_node: Dict[int, List[int]] = {}  # id(node) -> run ids
         runs_per_boundary: Dict[int, int] = {}
         for rid, loc in located.items():
@@ -344,90 +399,147 @@ class RunManager:
                 runs_per_boundary.get(loc.b_idx, 0) + 1
             )
         runner_cells = self.runner_cells()
+        lost_set = set(lost)
+        order = sorted(self.runs)
 
-        for rid in sorted(self.runs):
-            run = self.runs[rid]
-            if rid in lost:
-                self._planned.append(_Planned(run, terminate="run_lost"))
-                continue
-            b_idx, ring, node = located[rid]
-            n = len(ring)
+        ctx = (
+            occupied,
+            merge_moves,
+            located,
+            lost_set,
+            round_index,
+            at_node,
+            runs_per_boundary,
+            runner_cells,
+        )
+        if executor is not None and len(order) > 1:
+            shards = self._plan_shards(order, located)
+            planned_by_rid: Dict[int, Tuple[_Planned, Optional[Cell]]] = {}
+            for shard_result in executor.map(
+                lambda shard: [
+                    (rid, self._plan_one(rid, *ctx)) for rid in shard
+                ],
+                shards,
+            ):
+                for rid, result in shard_result:
+                    planned_by_rid[rid] = result
+            results = [planned_by_rid[rid] for rid in order]
+        else:
+            results = [self._plan_one(rid, *ctx) for rid in order]
 
-            # Rule 3 / 6: the runner takes part in a merge this round.
-            if run.robot in merge_moves:
-                self._planned.append(_Planned(run, terminate="run_merged"))
-                continue
-
-            # A freshly started run always performs its start hop (the
-            # paper's "start runstate": generate the state, hop, hand the
-            # state on) before any visibility-based stop rule applies.
-            fresh = run.born_round == round_index
-
-            # Occurrence heads ahead of the runner, fetched in one batched
-            # ring walk shared by rule 1, rule 2, and the handover target.
-            probing = (
-                not fresh and runs_per_boundary.get(b_idx, 0) > 1
-            )
-            probe_len = min(cfg.viewing_radius, n - 1) if probing else 0
-            horizon = (
-                min(cfg.run_passing_distance + 1, n - 2) if not fresh else 0
-            )
-            needed = max(1, probe_len, horizon + 1 if horizon >= 1 else 0)
-            heads = ring.walk_heads(node, run.direction, needed)
-
-            # Rule 1: sequent run visible ahead -> the run *behind* stops
-            # (paper Table 1.1).  On a closed contour "behind" means the
-            # gap ahead of us is the smaller arc; two runs chasing each
-            # other at equal distance (opposite sides of a ring) are not
-            # sequent and must both survive.
-            passing = False
-            stop = False
-            # Probing is only meaningful when another run shares this
-            # contour — the common single-run case skips the scan.
-            for k in range(1, probe_len + 1):
-                for other_id in at_node.get(id(heads[k - 1]), ()):
-                    other = self.runs[other_id]
-                    if other_id == rid:
-                        continue
-                    if other.direction == run.direction:
-                        if 2 * k < n:  # we are genuinely the follower
-                            stop = True
-                            break
-                    elif k <= cfg.run_passing_distance:
-                        passing = True
-                if stop:
-                    break
-            if stop:
-                self._planned.append(
-                    _Planned(run, terminate="run_saw_sequent")
-                )
-                continue
-
-            # Rule 2: quasi-line endpoint just ahead -> stop (see module
-            # docstring for the operationalization; degenerate contours
-            # leave no room for a 3-robot segment and never match).
-            if horizon >= 1:
-                window = [node.cell] + [
-                    h.cell for h in heads[: horizon + 1]
-                ]
-                if _endpoint_in_window(window, run.axis == "h"):
-                    self._planned.append(
-                        _Planned(run, terminate="run_saw_endpoint")
-                    )
-                    continue
-
-            next_robot = heads[0].cell
-            planned = _Planned(run, next_robot=next_robot)
-
-            if not passing:
-                fold = self._fold_target(
-                    occupied, run.robot, merge_moves, runner_cells
-                )
-                if fold is not None and run.robot not in run_moves:
-                    planned.fold_to = fold
-                    run_moves[run.robot] = fold
+        # Deterministic reduce in run-id order: first claim on a shared
+        # robot cell wins the fold (two runs can hold one robot).
+        for planned, fold in results:
+            if fold is not None and planned.run.robot not in run_moves:
+                planned.fold_to = fold
+                run_moves[planned.run.robot] = fold
             self._planned.append(planned)
         return run_moves
+
+    @staticmethod
+    def _plan_shards(
+        order: Sequence[int], located: Mapping[int, RunLocation]
+    ) -> List[List[int]]:
+        """Partition the run ids into independent planning shards.
+
+        Runs are grouped by contour (the natural independence unit: rule
+        1 probes only ever meet runs of the same contour) and groups are
+        emitted as shards in contour order, lost runs first.  Since
+        :meth:`_plan_one` is read-only, any partition is sound — the
+        grouping just keeps a shard's ring walks on one contour's nodes.
+        """
+        groups: Dict[int, List[int]] = {}
+        for rid in order:
+            loc = located.get(rid)
+            groups.setdefault(-1 if loc is None else loc.b_idx, []).append(
+                rid
+            )
+        return [groups[key] for key in sorted(groups)]
+
+    def _plan_one(
+        self,
+        rid: int,
+        occupied: Set[Cell],
+        merge_moves: Mapping[Cell, Cell],
+        located: Mapping[int, RunLocation],
+        lost: Set[int],
+        round_index: int,
+        at_node: Mapping[int, List[int]],
+        runs_per_boundary: Mapping[int, int],
+        runner_cells: Set[Cell],
+    ) -> Tuple[_Planned, Optional[Cell]]:
+        """Plan one run against the round's shared read-only context.
+
+        Returns the :class:`_Planned` record and the run's fold
+        *candidate* (``None`` when it terminates, passes, or has no
+        fold); the caller assigns fold claims in run-id order.
+        """
+        cfg = self.cfg
+        run = self.runs[rid]
+        if rid in lost:
+            return _Planned(run, terminate="run_lost"), None
+        b_idx, ring, node = located[rid]
+        n = len(ring)
+
+        # Rule 3 / 6: the runner takes part in a merge this round.
+        if run.robot in merge_moves:
+            return _Planned(run, terminate="run_merged"), None
+
+        # A freshly started run always performs its start hop (the
+        # paper's "start runstate": generate the state, hop, hand the
+        # state on) before any visibility-based stop rule applies.
+        fresh = run.born_round == round_index
+
+        # Occurrence heads ahead of the runner, fetched in one batched
+        # ring walk shared by rule 1, rule 2, and the handover target.
+        probing = not fresh and runs_per_boundary.get(b_idx, 0) > 1
+        probe_len = min(cfg.viewing_radius, n - 1) if probing else 0
+        horizon = (
+            min(cfg.run_passing_distance + 1, n - 2) if not fresh else 0
+        )
+        needed = max(1, probe_len, horizon + 1 if horizon >= 1 else 0)
+        heads = ring.walk_heads(node, run.direction, needed)
+
+        # Rule 1: sequent run visible ahead -> the run *behind* stops
+        # (paper Table 1.1).  On a closed contour "behind" means the
+        # gap ahead of us is the smaller arc; two runs chasing each
+        # other at equal distance (opposite sides of a ring) are not
+        # sequent and must both survive.
+        passing = False
+        stop = False
+        # Probing is only meaningful when another run shares this
+        # contour — the common single-run case skips the scan.
+        for k in range(1, probe_len + 1):
+            for other_id in at_node.get(id(heads[k - 1]), ()):
+                other = self.runs[other_id]
+                if other_id == rid:
+                    continue
+                if other.direction == run.direction:
+                    if 2 * k < n:  # we are genuinely the follower
+                        stop = True
+                        break
+                elif k <= cfg.run_passing_distance:
+                    passing = True
+            if stop:
+                break
+        if stop:
+            return _Planned(run, terminate="run_saw_sequent"), None
+
+        # Rule 2: quasi-line endpoint just ahead -> stop (see module
+        # docstring for the operationalization; degenerate contours
+        # leave no room for a 3-robot segment and never match).
+        if horizon >= 1:
+            window = [node.cell] + [h.cell for h in heads[: horizon + 1]]
+            if _endpoint_in_window(window, run.axis == "h"):
+                return _Planned(run, terminate="run_saw_endpoint"), None
+
+        planned = _Planned(run, next_robot=heads[0].cell)
+        fold = None
+        if not passing:
+            fold = self._fold_target(
+                occupied, run.robot, merge_moves, runner_cells
+            )
+        return planned, fold
 
     def _endpoint_ahead(
         self, robots: Tuple[Cell, ...], pos: int, run: Run

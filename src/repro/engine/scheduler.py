@@ -35,6 +35,18 @@ from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
 
 
+def close_controller(controller) -> None:
+    """Release controller-held resources (e.g. the sharded-planning
+    thread pool of :class:`repro.core.algorithm.GatherOnGrid`).
+    Duck-typed because baseline controllers have no ``close``;
+    idempotent — controllers recreate their pools on demand.  The one
+    implementation behind :meth:`FsyncEngine.close` and the facade's
+    scheduler drive paths."""
+    closer = getattr(controller, "close", None)
+    if callable(closer):
+        closer()
+
+
 class Controller(Protocol):
     """A synchronous distributed algorithm under simulation.
 
@@ -159,6 +171,12 @@ class FsyncEngine:
         )
         self.round_index = 0
         self._terminal_version: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release controller-held resources (see
+        :func:`close_controller`); the engine remains usable."""
+        close_controller(self.controller)
 
     # ------------------------------------------------------------------
     def step(self) -> int:

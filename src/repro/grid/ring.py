@@ -71,15 +71,28 @@ def _change_edge_count(cells: List[Cell]) -> int:
     return sum(1 for a, b in zip(cells, cells[1:]) if a != b)
 
 
+#: Initial spacing of the per-ring order labels.  Splices subdivide the
+#: gap between their anchors; a fresh gap this wide absorbs ~20 nested
+#: same-spot subdivisions before the ring is relabeled (O(ring), rare).
+_ORDER_GAP = 1 << 20
+
+
 class RingNode:
     """One boundary side as a node of a doubly-linked contour ring.
 
     ``node_id`` is stable for the node's lifetime; a side that survives a
     splice keeps its node (and id), so consumers may hold node references
     across rounds as long as the side itself persists.
+
+    ``order`` is a per-ring *order label*: labels strictly increase along
+    the ring except across exactly one "descent" edge, so the cyclic
+    order of two nodes relative to any reference node is an O(1) label
+    comparison (no walking).  Labels are maintained by ``RingSet`` on
+    every splice; consumers (the start-site index) treat them as opaque
+    sort keys that may be rewritten wholesale by a relabel.
     """
 
-    __slots__ = ("cell", "normal", "prev", "next", "node_id", "ring")
+    __slots__ = ("cell", "normal", "prev", "next", "node_id", "ring", "order")
 
     def __init__(self, cell: Cell, normal: Cell, node_id: int) -> None:
         self.cell = cell
@@ -88,6 +101,7 @@ class RingNode:
         self.prev: "RingNode" = self
         self.next: "RingNode" = self
         self.ring: Optional["BoundaryRing"] = None
+        self.order: int = 0
 
     @property
     def side(self) -> Side:
@@ -271,6 +285,22 @@ class RingSet:
     ``last_resplices`` records the incremental work of the latest update
     as ``(ring_id, arc_sides, removed_sides)`` triples; a full-rebuild
     fallback is recorded as ``ring_id == -1``.
+
+    ``observer`` is an optional structural-change listener (duck-typed;
+    used by :class:`repro.core.quasiline.StartSiteIndex`).  Callbacks:
+
+    * ``on_rebuild(ring_set)`` — after any full (re)build; every prior
+      node/ring reference is void (doomed rings, reseeded cycles and
+      ring-id recycling never happen outside a rebuild's fresh ids, so
+      observers reconcile ring lifecycles against ``rings`` lazily);
+    * ``on_arc_spliced(ring, a, b, old_nodes, new_nodes)`` — after an
+      update committed (structure and canonical order final): the arc
+      strictly between the surviving anchors ``a`` and ``b`` was
+      replaced, dropping ``old_nodes`` and linking in ``new_nodes``
+      (which may reuse old node objects, possibly from other rings).
+
+    Callbacks are intentionally O(arc): observers that derive cached
+    values should record the reported nodes and recompute lazily.
     """
 
     def __init__(self) -> None:
@@ -278,6 +308,7 @@ class RingSet:
         self.node_of: Dict[Side, RingNode] = {}
         self.cell_nodes: Dict[Cell, List[RingNode]] = {}
         self.last_resplices: List[Tuple[int, int, int]] = []
+        self.observer = None
         self._next_ring_id = 0
         self._next_node_id = 0
         self._primed = False
@@ -326,10 +357,13 @@ class RingSet:
         self._next_node_id = nid
         ring = BoundaryRing(-1, is_outer, nodes[0])
         prev = nodes[-1]
+        order = 0
         for node, side in zip(nodes, trace):
             prev.next = node
             node.prev = prev
             node.ring = ring
+            node.order = order
+            order += _ORDER_GAP
             node_of[side] = node
             cell_nodes.setdefault(side[0], []).append(node)
             prev = node
@@ -364,6 +398,21 @@ class RingSet:
             del self.cell_nodes[node.cell]
         else:
             lst.remove(node)
+
+    @staticmethod
+    def _relabel(ring: BoundaryRing, gap: int = _ORDER_GAP) -> None:
+        """Reassign the ring's order labels with fresh gaps (follows the
+        link structure, so it is safe mid-commit while ``ring.size`` is
+        stale); only reached when nested splices exhausted a gap."""
+        head = ring.head
+        order = 0
+        node = head
+        while True:
+            node.order = order
+            order += gap
+            node = node.next
+            if node is head:
+                break
 
     # ------------------------------------------------------------------
     def rebuild(self, occupied: Set[Cell]) -> List[BoundaryRing]:
@@ -403,6 +452,8 @@ class RingSet:
             self._next_ring_id += 1
         self.rings = rings
         self._primed = True
+        if self.observer is not None:
+            self.observer.on_rebuild(self)
         return list(rings)
 
     def _fallback(self, occupied: Set[Cell]) -> List[BoundaryRing]:
@@ -591,6 +642,28 @@ class RingSet:
         pool_pop = pool.pop
         for ring, a, b, old_nodes, new_sides in splices:
             heap = ring._minheap
+            # Order labels of the inserted arc.  If the cycle's single
+            # label descent lies inside the replaced arc (a.order >=
+            # b.order, including the a == b full-circle case), the
+            # surviving path b..a ascends, so appending above a.order
+            # keeps exactly one descent (Python ints never overflow).
+            # Otherwise subdivide the (a.order, b.order) gap, relabeling
+            # the whole ring first in the rare case nested splices have
+            # exhausted it.
+            m = len(new_sides)
+            if m:
+                if a.order < b.order and b.order - a.order <= m:
+                    # Nested splices exhausted the (a, b) gap: relabel
+                    # with fresh gaps.  The walk starts at ring.head, so
+                    # afterwards a may legitimately label *above* b
+                    # (head inside the b..a path) — that is exactly the
+                    # descent-in-arc case handled below.
+                    self._relabel(ring, max(_ORDER_GAP, 2 * (m + 1)))
+                if a.order >= b.order:
+                    base, step = a.order, _ORDER_GAP
+                else:
+                    base, step = a.order, (b.order - a.order) // (m + 1)
+            order = 0
             prev = a
             for side in new_sides:
                 node = pool_pop(side, None)
@@ -600,6 +673,8 @@ class RingSet:
                     node_of[side] = node
                     cell_nodes.setdefault(side[0], []).append(node)
                 node.ring = ring
+                order += step
+                node.order = base + order
                 node.prev = prev
                 prev.next = node
                 if heap is not None:
@@ -634,6 +709,8 @@ class RingSet:
         # ------------------------------------------------------ phase 3
         # Reseed: brand-new cycles (opened holes, re-created small rings)
         # start at free sides of the seed cells that no ring covers.
+        # (No observer callback: a reseeded ring has a fresh ring_id, so
+        # lazy consumers index it on first sight.)
         if seed_cells:
             maybe_seeds: List[Side] = []
             for c in sorted(seed_cells):
@@ -684,6 +761,12 @@ class RingSet:
                 ring.head = self._min_node(ring)
         rings.sort(key=_ring_sort_key)
         self.rings = rings
+        observer = self.observer
+        if observer is not None:
+            for ring, a, b, old_nodes, new_sides in splices:
+                observer.on_arc_spliced(
+                    ring, a, b, old_nodes, [node_of[s] for s in new_sides]
+                )
         return list(rings)
 
     # ------------------------------------------------------------------

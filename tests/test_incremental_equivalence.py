@@ -77,6 +77,15 @@ def test_incremental_matches_full_and_seed(name, golden):
     # Layer 1: the incremental pipeline is bit-identical to full rescans.
     assert on == off, f"{name}: incremental mode changed the trajectory"
 
+    # Sharded planning (threaded per-run shards + deterministic reduce)
+    # must not change anything either — with or without the incremental
+    # caches underneath.
+    sharded = run_scenario(
+        SCENARIOS[name],
+        AlgorithmConfig(incremental=True, shard_planning=True),
+    )
+    assert sharded == on, f"{name}: sharded planning changed the trajectory"
+
     # Layer 2: bit-identical to the seed implementation, modulo the
     # documented run-start bugfix.
     gold = golden[name]

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a freshly measured BENCH_ring.json against the committed one.
+
+CI's ``bench-smoke`` job regenerates the steady-state micro-bench report
+(``BENCH_RING_OUT=... pytest benchmarks/bench_micro.py -k
+ring_resplice``) and calls this checker.  Absolute ms/round numbers are
+machine-bound and meaningless across runners, so the comparison is on
+the **speedup ratios** (incremental vs full rescan of the *same* run on
+the *same* machine): a fresh speedup may not fall more than
+``--tolerance`` (default 30%) below the committed baseline for any
+instance present in both files.  Instances only present on one side
+(newly added benches) are reported but never fail the check.
+
+Several fresh reports may be given (CI measures twice): each instance is
+judged on its **best** fresh speedup, so a single noisy-neighbor run
+cannot red-X an unrelated PR.
+
+Exit status 0 when every shared instance is within tolerance, 1
+otherwise.
+
+Usage::
+
+    python tools/bench_check.py BENCH_ring.json fresh1.json [fresh2.json
+        ...] [--tolerance 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path: str) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    instances = report.get("instances")
+    if not isinstance(instances, dict) or not instances:
+        raise ValueError(f"{path}: no instances in report")
+    out = {}
+    for name, values in instances.items():
+        speedup = values.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            raise ValueError(f"{path}: instance {name!r} has no speedup")
+        out[name] = float(speedup)
+    return out
+
+
+def compare(
+    baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    """Human-readable comparison lines; raises nothing, failures are
+    marked with ``REGRESSION``."""
+    lines = []
+    for name in sorted(baseline.keys() | fresh.keys()):
+        base = baseline.get(name)
+        new = fresh.get(name)
+        if base is None:
+            lines.append(f"  {name}: new instance, fresh {new:.2f}x (info)")
+            continue
+        if new is None:
+            lines.append(
+                f"  {name}: missing from fresh report, baseline "
+                f"{base:.2f}x (info)"
+            )
+            continue
+        floor = base * (1.0 - tolerance)
+        verdict = "ok" if new >= floor else "REGRESSION"
+        lines.append(
+            f"  {name}: baseline {base:.2f}x, fresh {new:.2f}x, "
+            f"floor {floor:.2f}x -> {verdict}"
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_ring.json")
+    parser.add_argument(
+        "fresh",
+        nargs="+",
+        help="freshly measured report(s); instances judged on their "
+        "best fresh speedup",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed relative speedup drop before failing (default 0.3)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_speedups(args.baseline)
+        fresh: dict = {}
+        for path in args.fresh:
+            for name, speedup in load_speedups(path).items():
+                fresh[name] = max(speedup, fresh.get(name, 0.0))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    lines = compare(baseline, fresh, args.tolerance)
+    print(f"bench speedup check (tolerance {args.tolerance:.0%}):")
+    print("\n".join(lines))
+    if any("REGRESSION" in line for line in lines):
+        print("FAILED: speedup regression beyond tolerance", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
