@@ -14,7 +14,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import format_table
-from repro.core.algorithm import gather
+from repro.api import simulate
 from repro.core.config import AlgorithmConfig
 from repro.swarms.generators import ring, solid_rectangle
 
@@ -22,7 +22,7 @@ STALL = 6000
 
 
 def _rounds(cells, cfg):
-    r = gather(cells, cfg, max_rounds=STALL, check_connectivity=False)
+    r = simulate(cells, config=cfg, max_rounds=STALL, check_connectivity=False)
     return r.rounds if r.gathered else -1
 
 

@@ -15,10 +15,16 @@ import pytest
 from benchmarks.conftest import emit
 from repro.analysis.fitting import scaling_exponent
 from repro.analysis.tables import format_table
+# reprolint: ok[F1] E2-E4 benchmark the per-baseline APIs themselves,
+# head-to-head against the facade path.
 from repro.baselines.async_greedy import gather_async
+
+# reprolint: ok[F1] E2 measures Euclidean go-to-center via its own API.
 from repro.baselines.euclidean import gather_euclidean, worst_case_circle
+
+# reprolint: ok[F1] no facade equivalent: E4 needs the per-robot moves.
 from repro.baselines.global_grid import gather_global_with_moves
-from repro.core.algorithm import gather
+from repro.api import simulate
 from repro.swarms.generators import line, random_blob, solid_rectangle
 
 #: The [DKL+11] worst-case family: a circle with unit visibility.
@@ -35,7 +41,7 @@ def test_e2_euclidean_comparison(benchmark):
     grid_rounds = []
     euc_rounds = []
     for n in sizes:
-        g = gather(line(n), check_connectivity=False)
+        g = simulate(line(n), check_connectivity=False)
         e = gather_euclidean(_euclid_circle(n))
         assert g.gathered and e.gathered
         grid_rounds.append(max(g.rounds, 1))
@@ -132,7 +138,7 @@ def test_e2b_same_shape_both_models(benchmark):
     """E2 companion: the same logical line swarm in both worlds."""
     rows = []
     for n in (16, 32, 64):
-        g = gather(line(n), check_connectivity=False)
+        g = simulate(line(n), check_connectivity=False)
         e = gather_euclidean([(0.9 * i, 0.0) for i in range(n)])
         assert g.gathered and e.gathered
         rows.append((n, g.rounds, e.rounds))
@@ -145,7 +151,7 @@ def test_e2b_same_shape_both_models(benchmark):
     )
     benchmark.extra_info["rows"] = rows
     benchmark.pedantic(
-        lambda: gather(line(64), check_connectivity=False),
+        lambda: simulate(line(64), check_connectivity=False),
         rounds=1,
         iterations=1,
     )
@@ -157,6 +163,7 @@ def test_e9_chain_shortening(benchmark):
     The gathering paper inherits its linear-time machinery from the chain
     line of work ([DKLH06] O(n^2 log n) -> [KM09] O(n) -> [ACLF+16] closed
     chains); this measures our chain shortener's regime."""
+    # reprolint: ok[F1] E9 benchmarks the chain baseline's own API.
     from repro.baselines.chain import hairpin_chain, shorten_chain
 
     rows = []
@@ -196,6 +203,7 @@ def test_e10_closed_chain(benchmark):
     on rectangle chains, next to the general algorithm on rings of the same
     robot count (the general problem the paper solves by *dropping* the
     chain structure)."""
+    # reprolint: ok[F1] E10 benchmarks the closed-chain baseline's API.
     from repro.baselines.closed_chain import gather_closed_chain, rectangle_chain
     from repro.swarms.generators import ring as ring_swarm
 
@@ -205,7 +213,7 @@ def test_e10_closed_chain(benchmark):
         chain = rectangle_chain(side, side)
         cc = gather_closed_chain(chain, seed=side)
         assert cc.gathered
-        general = gather(ring_swarm(side), check_connectivity=False)
+        general = simulate(ring_swarm(side), check_connectivity=False)
         assert general.gathered
         lens.append(len(chain))
         rnds.append(max(cc.rounds, 1))

@@ -16,7 +16,7 @@ from benchmarks.conftest import emit
 from repro.analysis.experiments import run_scaling
 from repro.analysis.fitting import fit_linear, scaling_exponent
 from repro.analysis.tables import format_table
-from repro.core.algorithm import gather
+from repro.api import simulate
 from repro.core.config import AlgorithmConfig
 from repro.swarms.generators import family, line
 
@@ -116,7 +116,7 @@ def test_e1_rounds_scale_linearly(benchmark, family_name):
     # benchmark one representative mid-size instance
     cells = family(family_name, sizes[1])
     benchmark.pedantic(
-        lambda: gather(cells, check_connectivity=False),
+        lambda: simulate(cells, check_connectivity=False),
         rounds=1,
         iterations=1,
     )
@@ -133,7 +133,7 @@ def test_e8_lower_bound_gap(benchmark):
     gaps = []
     for n in (40, 80, 160, 320):
         cells = line(n)
-        result = gather(cells, check_connectivity=False)
+        result = simulate(cells, check_connectivity=False)
         assert result.gathered
         bound = (n - 1 - 1) / 2
         gap = result.rounds / bound
@@ -149,7 +149,7 @@ def test_e8_lower_bound_gap(benchmark):
     benchmark.extra_info["rows"] = rows
     assert max(gaps) < 3.0, "gap must stay O(1) for asymptotic optimality"
     benchmark.pedantic(
-        lambda: gather(line(80), check_connectivity=False),
+        lambda: simulate(line(80), check_connectivity=False),
         rounds=1,
         iterations=1,
     )

@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import InvariantError
+
 Point = Tuple[float, float]
 
 
@@ -98,7 +100,10 @@ def smallest_enclosing_circle(
                         if cand[1] > best[1]:
                             best = cand
                     circle = best
-    assert circle is not None
+    if circle is None:
+        raise InvariantError(
+            "minimum enclosing circle search ended with no candidate"
+        )
     return circle
 
 

@@ -39,7 +39,8 @@ from repro.viz.ascii_art import render_with_marks
 
 #: Families resolvable by at least one strategy: the swarm generators
 #: plus the strategy-specific ones (Euclidean worst case, chains).
-FAMILY_CHOICES = sorted(FAMILIES) + [
+FAMILY_CHOICES = [
+    *sorted(FAMILIES),
     "circle",
     "hairpin",
     "zigzag",
@@ -430,7 +431,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 0
     print(
         format_table(
-            ["n"] + [STRATEGIES[k].compare_label for k in strategies],
+            ["n", *(STRATEGIES[k].compare_label for k in strategies)],
             rows,
             title="rounds to gather, worst-case family per model",
         )

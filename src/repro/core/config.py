@@ -2,7 +2,7 @@
 
 The defaults are the paper's constants (Section 5, Lemma 3).  Every knob
 exists for a reason documented on the field — most feed the ablation
-experiments E5–E7 of DESIGN.md.
+experiments E5-E7 of DESIGN.md.
 """
 
 from __future__ import annotations

@@ -409,7 +409,7 @@ class MergeCache:
       the run.  A cell flip therefore invalidates only the runs holding
       an *anchor* (the flipped cell or one of its 4-neighbors), and a
       round that moves k robots re-derives O(k) runs of length ≤
-      ``max_bump_length`` each, instead of O(dirty lines × line length);
+      ``max_bump_length`` each, instead of O(dirty lines x line length);
     * the leaf/corner candidate of robot ``c`` depends on occupancy within
       Chebyshev distance 1 of ``c`` *and* on whether ``c`` is a bump mover
       — ``c`` is re-evaluated iff a cell in its 8-neighborhood flipped or
@@ -506,7 +506,7 @@ class MergeCache:
         dead_row: List[MergePattern] = []
         dead_col: List[MergePattern] = []
         seen_ids: Set[int] = set()
-        for a in anchors:
+        for a in sorted(anchors):
             p = row_movers.get(a)
             if p is not None and id(p) not in seen_ids:
                 seen_ids.add(id(p))
@@ -521,7 +521,7 @@ class MergeCache:
         new_row: List[MergePattern] = []
         new_col: List[MergePattern] = []
         seen_runs: Set[Tuple[int, int, int]] = set()
-        for a in anchors:
+        for a in sorted(anchors):
             if a not in cells:
                 continue
             ax, ay = a
@@ -573,7 +573,7 @@ class MergeCache:
         dead_col: List[MergePattern] = []
         new_row: List[MergePattern] = []
         new_col: List[MergePattern] = []
-        for y in dirty_rows:
+        for y in sorted(dirty_rows):
             old = self._row_patterns.get(y)
             if old is None and y not in rows:
                 continue  # empty line stayed empty: no-op
@@ -582,7 +582,7 @@ class MergeCache:
                 dead_row.extend(old.values())
             if ps:
                 new_row.extend(ps)
-        for x in dirty_cols:
+        for x in sorted(dirty_cols):
             old = self._col_patterns.get(x)
             if old is None and x not in cols:
                 continue

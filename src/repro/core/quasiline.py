@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import InvariantError
 from repro.grid.boundary import Boundary
 from repro.grid.geometry import Cell, sub
 from repro.grid.ring import BoundaryRing, RingNode, RingSet
@@ -457,7 +458,11 @@ class StartSiteIndex:
                 if node_of.get((node.cell, node.normal)) is not node:
                     continue  # side gone: dropping its entry is enough
                 ring = node.ring
-                assert ring is not None
+                if ring is None:
+                    raise InvariantError(
+                        f"live start-site node at {node.cell} detached "
+                        f"from its ring"
+                    )
                 if ring.ring_id in saturated:
                     continue  # wholesale reindexed above
                 live_by_ring.setdefault(ring.ring_id, []).append(node)
@@ -523,7 +528,12 @@ class StartSiteIndex:
             o0 = h0.order
             keyed = []
             for node, entries in bucket.items():
-                assert node.ring is ring, "stale start-site index entry"
+                if node.ring is not ring:
+                    raise InvariantError(
+                        "stale start-site index entry: node at "
+                        f"{node.cell} is indexed under ring "
+                        f"{ring.ring_id} but belongs elsewhere"
+                    )
                 o = node.order
                 keyed.append(((0, o) if o >= o0 else (1, o), node, entries))
             keyed.sort(key=lambda item: item[0])

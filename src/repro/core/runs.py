@@ -40,6 +40,7 @@ from typing import (
 
 from repro.core.config import AlgorithmConfig
 from repro.core.quasiline import StartSite
+from repro.errors import InvariantError
 from repro.grid.geometry import Cell, l1_distance
 from repro.grid.ring import BoundaryRing, RingNode, RingSet
 
@@ -160,7 +161,7 @@ class RunManager:
         """
         rings = contours.rings
         located_nodes: Dict[int, List[RingNode]] = {}
-        for rid, loc in located.items():
+        for loc in located.values():
             located_nodes.setdefault(loc.b_idx, []).append(loc.node)
         # Spacing state, resolved lazily per contour because this runs
         # only every ``run_start_interval`` rounds and only for contours
@@ -249,7 +250,10 @@ class RunManager:
             if too_close:
                 continue
             prev = site.prev
-            assert prev is not None  # always filled by run_start_sites
+            if prev is None:  # always filled by run_start_sites
+                raise InvariantError(
+                    f"start site at {site.robot} has no predecessor"
+                )
             axis = "h" if site.stretch_dir[1] == 0 else "v"
             run = Run(
                 run_id=self._next_id,
@@ -317,7 +321,10 @@ class RunManager:
             direction = run.direction
             for node in contours.nodes_at(robot):
                 ring = node.ring
-                assert ring is not None
+                if ring is None:
+                    raise InvariantError(
+                        f"contour node at {robot} detached from its ring"
+                    )
                 if len(ring) < 2:
                     continue  # degenerate cycle (fewer than 2 robots)
                 # occurrence head + the robot behind, inlined (hot loop)
@@ -634,7 +641,11 @@ class RunManager:
             if planned.fold_to is None and run.robot in landing_cells:
                 outcome.append((run, "run_merged"))
                 continue
-            assert planned.next_robot is not None
+            if planned.next_robot is None:
+                raise InvariantError(
+                    f"planned move for run {run.run_id} names no "
+                    f"successor robot"
+                )
             holder_after = (
                 planned.fold_to
                 if planned.fold_to is not None

@@ -111,7 +111,11 @@ class AsyncEngine:
     def step_round(self) -> int:
         """One fair round (every robot activated once); returns merges."""
         state = self.state
-        order: List[Cell] = list(state.cells)
+        # Canonical order before the seeded shuffle: ``state.cells`` is a
+        # set, so ``list()`` would bake the hash-table order into the
+        # permutation and the trajectory would depend on the interpreter
+        # rather than on ``seed`` alone.
+        order: List[Cell] = sorted(state.cells)
         self.rng.shuffle(order)
         merged = 0
         for robot in order:

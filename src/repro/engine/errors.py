@@ -2,6 +2,15 @@
 
 from __future__ import annotations
 
+from repro.errors import InvariantError
+
+__all__ = [
+    "InvariantError",
+    "SimulationError",
+    "ConnectivityViolation",
+    "NotGathered",
+]
+
 
 class SimulationError(RuntimeError):
     """Base class for engine failures."""

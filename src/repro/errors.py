@@ -1,0 +1,25 @@
+"""Exception types shared across the ``repro`` package.
+
+This module is deliberately dependency-free (it imports nothing from
+``repro``) so that low-level packages — ``grid``, ``core`` — can raise
+typed errors without pulling in ``repro.engine`` (whose ``__init__``
+imports the schedulers, which import the grid: a cycle).
+
+The engine-specific exceptions (:class:`SimulationError` and friends)
+live in :mod:`repro.engine.errors`, which re-exports
+:class:`InvariantError` from here so both spellings resolve to the same
+class.
+"""
+
+from __future__ import annotations
+
+
+class InvariantError(RuntimeError):
+    """An internal invariant did not hold.
+
+    Raised where a bare ``assert`` would otherwise guard load-bearing
+    state: unlike ``assert``, it survives ``python -O``, so a corrupted
+    incremental index or an impossible planner state fails loudly in
+    every interpreter mode instead of silently producing a wrong — and
+    possibly still deterministic-looking — trajectory.
+    """

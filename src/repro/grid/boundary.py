@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.errors import InvariantError
 from repro.grid.geometry import (
     Cell,
     DIRECTIONS4,
@@ -197,7 +198,10 @@ def extract_boundaries(state: SwarmState | Set[Cell]) -> List[Boundary]:
         if add(c, d) not in occupied
     }
     anchor = outer_anchor(occupied)
-    assert anchor in all_sides
+    if anchor not in all_sides:
+        raise InvariantError(
+            f"outer anchor {anchor} is not a boundary side of the swarm"
+        )
 
     boundaries: List[Boundary] = []
     unvisited = set(all_sides)

@@ -129,7 +129,7 @@ def is_connected(cells: Iterable[Cell]) -> bool:
 def articulation_cells(cells: Iterable[Cell]) -> Set[Cell]:
     """Cells whose removal disconnects the swarm (cut vertices).
 
-    Standard Hopcroft–Tarjan DFS on the 4-adjacency graph, iterative to
+    Standard Hopcroft-Tarjan DFS on the 4-adjacency graph, iterative to
     survive deep swarms (a 10k-robot line would blow the recursion limit).
     Used by tests to verify that merge/fold operations never move a robot
     whose presence is load-bearing without a replacement path.
@@ -144,6 +144,8 @@ def articulation_cells(cells: Iterable[Cell]) -> Set[Cell]:
     arts: Set[Cell] = set()
     counter = 0
 
+    # reprolint: ok[D3] the result is the articulation *set*, which is
+    # unique for a given occupancy; root order only shapes the DFS tree.
     for root in cell_set:
         if root in index:
             continue

@@ -42,6 +42,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.errors import InvariantError
 from repro.grid.boundary import (
     Boundary,
     Side,
@@ -506,6 +507,9 @@ class RingSet:
         # exclusively of new or removed sides.
         stale_nodes: List[RingNode] = []
         seed_cells: Set[Cell] = set()
+        # reprolint: ok[D3] stale-node order is canonicalized below: the
+        # per-ring groups are consumed as sets and arc starts are sorted
+        # by node_id before any re-trace.
         for c in dirty:
             nodes = cell_get(c)
             if not nodes:
@@ -625,7 +629,7 @@ class RingSet:
             rings = [r for r in self.rings if r not in doomed_set]
         else:
             rings = list(self.rings)
-        for ring, a, b, old_nodes, new_sides in splices:
+        for ring, a, _b, old_nodes, _new_sides in splices:
             head = ring.head
             for node in old_nodes:
                 side = (node.cell, node.normal)
@@ -748,7 +752,10 @@ class RingSet:
         if anchor_node is None:
             return self._fallback(occupied)
         new_outer = anchor_node.ring
-        assert new_outer is not None
+        if new_outer is None:
+            raise InvariantError(
+                f"anchor side {anchor} resolves to a detached ring node"
+            )
         old_outer = next((r for r in rings if r.is_outer), None)
         if old_outer is not new_outer:
             if old_outer is not None:

@@ -152,7 +152,7 @@ def spiral(turns: int, gap: int = 2) -> List[Cell]:
     dirs = [(1, 0), (0, 1), (-1, 0), (0, -1)]
     step = gap + 1
     d = 0
-    for t in range(2 * turns):
+    for _ in range(2 * turns):
         dx, dy = dirs[d % 4]
         for _ in range(step):
             cells.append((x, y))

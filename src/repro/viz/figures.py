@@ -387,7 +387,7 @@ def _fig22() -> str:
         for p in probs
     ]
     table = format_table(
-        ["p(active)"] + strategies,
+        ["p(active)", *strategies],
         rows,
         title="rounds to gather under SSYNC(uniform-p), n~12",
     )

@@ -39,7 +39,7 @@ class TestConfig:
 
     def test_frozen(self):
         cfg = AlgorithmConfig()
-        with pytest.raises(Exception):
+        with pytest.raises((AttributeError, TypeError)):
             cfg.viewing_radius = 5  # type: ignore[misc]
 
     def test_with_radius_derives_bump_length(self):

@@ -75,7 +75,7 @@ class TestMonotoneSubchains:
         ranges = monotone_subchains(vecs)
         assert ranges[0][0] == 0
         assert ranges[-1][1] == len(vecs)
-        for (a, b1), (c, _) in zip(ranges, ranges[1:]):
+        for (_a, b1), (c, _) in zip(ranges, ranges[1:]):
             assert b1 == c
 
 

@@ -75,7 +75,7 @@ def test_invariant4_sequent_spacing(cells):
     from repro.grid.ring import RingSet
 
     violations = 0
-    for i in range(60):
+    for _ in range(60):
         if engine.state.is_gathered():
             break
         engine.step()

@@ -128,7 +128,7 @@ class TestRingSetRepair:
             SwarmState(ring(16)), ctrl, check_connectivity=False
         )
         pipe = ctrl._pipeline
-        for burst in range(20):
+        for _burst in range(20):
             for _ in range(7):  # several updates per query
                 if eng.state.is_gathered():
                     break

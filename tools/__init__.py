@@ -1,0 +1,6 @@
+"""Repo tooling: golden capture, bench checking, docs and lint passes.
+
+A regular package so ``python -m tools.reprolint`` works from the repo
+root (the scripts here also keep working when invoked directly, e.g.
+``python tools/bench_check.py``).
+"""

@@ -23,6 +23,8 @@ import json
 import os
 import sys
 
+# reprolint: ok[F1] golden capture intentionally pins the legacy shim so
+# the shim's own behavior stays under test.
 from repro.core.algorithm import gather
 from repro.core.config import AlgorithmConfig
 from repro.swarms.generators import (

@@ -1,0 +1,110 @@
+"""CLI: ``python -m tools.reprolint [paths...]``.
+
+Exit status 0 when every finding is suppressed with a reasoned
+``# reprolint: ok[RULE] why`` annotation, 1 otherwise.  The
+``static-analysis`` CI job runs this over ``src tools benchmarks`` and
+uploads the ``--json`` report as an artifact; ``tests/test_reprolint.py``
+runs the same configuration inside tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.reprolint.engine import Runner, write_json_report
+from tools.reprolint.rules import default_rules
+
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor containing pyproject.toml (else ``start``)."""
+    for cand in (start, *start.parents):
+        if (cand / "pyproject.toml").exists():
+            return cand
+    return start
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "Project-specific static analysis: determinism, planner "
+            "purity, facade discipline (rule catalogue in docs/lint.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write a machine-readable report (CI artifact)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings",
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id:4s} {rule.title}")
+        return 0
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = wanted - {r.rule_id for r in rules}
+        if unknown:
+            parser.error(
+                f"unknown rule ids {sorted(unknown)}; "
+                f"see --list-rules"
+            )
+        rules = [r for r in rules if r.rule_id in wanted]
+
+    repo_root = find_repo_root(Path.cwd())
+    raw_paths: List[Path] = [
+        Path(p) for p in (args.paths or DEFAULT_PATHS)
+    ]
+    missing = [p for p in raw_paths if not p.exists()]
+    if missing:
+        parser.error(f"paths do not exist: {[str(p) for p in missing]}")
+
+    runner = Runner(rules, repo_root=repo_root)
+    report = runner.run(raw_paths)
+
+    for f in report.active:
+        print(f.render())
+    if args.show_suppressed:
+        for f in report.suppressed:
+            print(f.render())
+    if args.json:
+        write_json_report(report, Path(args.json))
+    n_active = len(report.active)
+    n_sup = len(report.suppressed)
+    print(
+        f"reprolint: {report.files_checked} files, "
+        f"{len(report.rules_run)} rules, {n_active} findings"
+        f" ({n_sup} suppressed)"
+    )
+    return 1 if n_active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

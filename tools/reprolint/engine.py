@@ -1,0 +1,336 @@
+"""The reprolint rule engine: source model, suppressions, runner.
+
+Design
+------
+* A :class:`SourceFile` wraps one parsed Python file: repo-relative
+  posix path, source lines, AST with parent links, and the inline
+  suppressions found in its comments.
+* Rules come in two shapes.  A :class:`FileRule` inspects one file at a
+  time (most determinism/facade rules).  A :class:`ProjectRule` runs
+  once over the whole file set plus the repo root — the purity checker
+  (cross-module call graph) and the docs/code event cross-check need
+  global context.
+* The :class:`Runner` loads files, executes rules, matches findings
+  against suppressions, and renders text/JSON reports.  A finding
+  without a matching suppression makes the run fail (exit 1).
+
+Suppression syntax (checked, not free-form)::
+
+    risky_line()  # reprolint: ok[D3] iteration order irrelevant: see X
+
+    # reprolint: ok[D1] seeded stream documented in docs/schedulers.md
+    risky_line()
+
+The rule id in ``ok[...]`` must name the rule being silenced; a reason
+is required — bare ``ok[D3]`` with no prose is itself an error.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: ``# reprolint: ok[D1] reason`` / ``# reprolint: ok[D1,D3] reason``
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ok\[([A-Za-z0-9_,\s-]+)\]\s*(.*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""  # suppression reason when suppressed
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.rule}{tag} {self.message}"
+
+    def as_json(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.suppressed:
+            out["reason"] = self.reason
+        return out
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """An inline ``# reprolint: ok[...]`` annotation."""
+
+    path: str
+    line: int  # the line the suppression covers (not the comment line)
+    rules: Tuple[str, ...]
+    reason: str
+
+
+class SourceFile:
+    """One parsed source file with parent links and suppressions."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[str] = None
+        try:
+            self.tree = ast.parse(text)
+        except SyntaxError as exc:  # surfaced as a finding by the runner
+            self.parse_error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        self._parents: Optional[Dict[int, ast.AST]] = None
+        self.suppressions: List[Suppression] = _scan_suppressions(rel, text)
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for sup in self.suppressions:
+            self._by_line.setdefault(sup.line, []).append(sup)
+
+    # -- AST helpers ---------------------------------------------------
+    @property
+    def parents(self) -> Dict[int, ast.AST]:
+        """Map ``id(node) -> parent node`` over the whole tree (lazy)."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            if self.tree is not None:
+                for parent in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(parent):
+                        parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        parents = self.parents
+        cur = parents.get(id(node))
+        while cur is not None:
+            yield cur
+            cur = parents.get(id(cur))
+
+    # -- suppression matching ------------------------------------------
+    def suppression_for(
+        self, rule: str, line: int
+    ) -> Optional[Suppression]:
+        for sup in self._by_line.get(line, ()):
+            if rule in sup.rules:
+                return sup
+        return None
+
+
+def _scan_suppressions(rel: str, text: str) -> List[Suppression]:
+    """Tokenize comments; a suppression on a code line covers that line,
+    a comment-only line covers the next code line below it."""
+    out: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out
+    lines = text.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _SUPPRESS_RE.search(tok.string)
+        if m is None:
+            continue
+        rules = tuple(
+            r.strip() for r in m.group(1).split(",") if r.strip()
+        )
+        reason = m.group(2).strip()
+        row = tok.start[0]
+        before = lines[row - 1][: tok.start[1]].strip()
+        target = row
+        if not before:  # comment-only line: covers the next code line
+            target = row + 1
+            while target <= len(lines):
+                stripped = lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+        out.append(Suppression(rel, target, rules, reason))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rule base classes
+# ----------------------------------------------------------------------
+class FileRule:
+    """A rule that inspects one file at a time."""
+
+    rule_id: str = "?"
+    title: str = ""
+
+    def applies(self, rel: str) -> bool:  # pragma: no cover - interface
+        return True
+
+    def check_file(self, sf: SourceFile) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, sf: SourceFile, node: ast.AST, msg: str) -> Finding:
+        return Finding(
+            self.rule_id, sf.rel, getattr(node, "lineno", 1), msg
+        )
+
+
+class ProjectRule:
+    """A rule that runs once over the whole analyzed file set."""
+
+    rule_id: str = "?"
+    title: str = ""
+
+    def check_project(
+        self, files: Sequence[SourceFile], repo_root: Path
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".pytest_cache",
+    ".ruff_cache",
+    "node_modules",
+}
+
+
+def collect_files(paths: Sequence[Path], repo_root: Path) -> List[Path]:
+    """Expand the CLI paths into a sorted, deduplicated ``.py`` list."""
+    seen: Dict[str, Path] = {}
+    for p in paths:
+        candidates: Iterable[Path]
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for c in candidates:
+            if any(part in _SKIP_DIRS for part in c.parts):
+                continue
+            seen[str(c.resolve())] = c
+    return [seen[k] for k in sorted(seen)]
+
+
+@dataclass
+class Report:
+    """The outcome of one reprolint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def as_json(self) -> Dict[str, object]:
+        counts: Dict[str, int] = {}
+        for f in self.active:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {
+            "files_checked": self.files_checked,
+            "rules": self.rules_run,
+            "counts_by_rule": counts,
+            "findings": [f.as_json() for f in self.findings],
+            "ok": not self.active,
+        }
+
+
+class Runner:
+    """Load files, run rules, apply suppressions, report."""
+
+    def __init__(
+        self,
+        rules: Sequence[object],
+        repo_root: Optional[Path] = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.repo_root = (
+            repo_root if repo_root is not None else Path.cwd()
+        ).resolve()
+
+    def load(self, path: Path) -> SourceFile:
+        resolved = path.resolve()
+        try:
+            rel = resolved.relative_to(self.repo_root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return SourceFile(resolved, rel, resolved.read_text())
+
+    def run(self, paths: Sequence[Path]) -> Report:
+        report = Report()
+        files = [self.load(p) for p in collect_files(paths, self.repo_root)]
+        report.files_checked = len(files)
+        for sf in files:
+            if sf.parse_error is not None:
+                report.findings.append(
+                    Finding("parse", sf.rel, 1, sf.parse_error)
+                )
+        parsed = [sf for sf in files if sf.tree is not None]
+        by_file = {sf.rel: sf for sf in parsed}
+        for rule in self.rules:
+            report.rules_run.append(rule.rule_id)
+            raw: List[Tuple[Finding, Optional[SourceFile]]] = []
+            if isinstance(rule, FileRule):
+                for sf in parsed:
+                    if rule.applies(sf.rel):
+                        raw.extend((f, sf) for f in rule.check_file(sf))
+            elif isinstance(rule, ProjectRule):
+                for f in rule.check_project(parsed, self.repo_root):
+                    raw.append((f, by_file.get(f.path)))
+            else:  # pragma: no cover - registry misuse
+                raise TypeError(f"not a rule: {rule!r}")
+            for f, sf in raw:
+                sup = (
+                    sf.suppression_for(f.rule, f.line)
+                    if sf is not None
+                    else None
+                )
+                if sup is not None:
+                    if not sup.reason:
+                        report.findings.append(
+                            Finding(
+                                f.rule,
+                                f.path,
+                                f.line,
+                                "suppression without a reason: "
+                                "write `# reprolint: ok[%s] <why>`"
+                                % f.rule,
+                            )
+                        )
+                    else:
+                        f = Finding(
+                            f.rule,
+                            f.path,
+                            f.line,
+                            f.message,
+                            suppressed=True,
+                            reason=sup.reason,
+                        )
+                report.findings.append(f)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return report
+
+
+def write_json_report(report: Report, out_path: Path) -> None:
+    out_path.write_text(json.dumps(report.as_json(), indent=2) + "\n")

@@ -1,0 +1,51 @@
+"""Rule registry for reprolint.
+
+Each rule family lives in its own module; :func:`default_rules` builds
+the production configuration (the one ``python -m tools.reprolint``
+runs).  Tests construct rule instances directly with narrowed scopes to
+lint fixture trees.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from tools.reprolint.rules.asserts import BareAssertRule
+from tools.reprolint.rules.determinism import (
+    IdOrderingWallClockRule,
+    UnorderedIterationRule,
+    UnseededRandomRule,
+)
+from tools.reprolint.rules.events_docs import EventDocsCrossCheckRule
+from tools.reprolint.rules.facade import (
+    LegacyEntryPointRule,
+    SchedulerOptionNamesRule,
+)
+from tools.reprolint.rules.purity import SharedStatePurityRule
+
+
+def default_rules() -> List[object]:
+    """The production rule set, in catalogue order."""
+    return [
+        UnseededRandomRule(),
+        IdOrderingWallClockRule(),
+        UnorderedIterationRule(),
+        SharedStatePurityRule(),
+        LegacyEntryPointRule(),
+        SchedulerOptionNamesRule(),
+        EventDocsCrossCheckRule(),
+        BareAssertRule(),
+    ]
+
+
+__all__ = [
+    "BareAssertRule",
+    "EventDocsCrossCheckRule",
+    "IdOrderingWallClockRule",
+    "LegacyEntryPointRule",
+    "SchedulerOptionNamesRule",
+    "SharedStatePurityRule",
+    "UnorderedIterationRule",
+    "UnseededRandomRule",
+    "default_rules",
+]

@@ -1,0 +1,53 @@
+"""A1 — no bare ``assert`` outside tests.
+
+``python -O`` strips ``assert`` statements, so an invariant guarded by
+one silently stops being checked exactly when someone runs the engine
+"optimized".  Load-bearing invariants belong in ``repro.errors``
+exceptions (:class:`repro.errors.InvariantError` for internal
+invariants); asserts are fine in pytest suites (``tests/``,
+``benchmarks/``), which never run under ``-O``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from tools.reprolint.engine import FileRule, Finding, SourceFile
+
+
+class BareAssertRule(FileRule):
+    """A1: bare ``assert`` in shipped code."""
+
+    rule_id = "A1"
+    title = "bare assert outside tests"
+
+    def __init__(
+        self,
+        prefixes: Sequence[str] = ("src/", "tools/"),
+        exempt_prefixes: Sequence[str] = ("tests/", "benchmarks/"),
+    ) -> None:
+        self.prefixes = tuple(prefixes)
+        self.exempt_prefixes = tuple(exempt_prefixes)
+
+    def applies(self, rel: str) -> bool:
+        if rel.startswith(self.exempt_prefixes):
+            return False
+        name = rel.rsplit("/", 1)[-1]
+        if name.startswith("test_") or name == "conftest.py":
+            return False
+        return rel.startswith(self.prefixes)
+
+    def check_file(self, sf: SourceFile) -> List[Finding]:
+        return [
+            self.finding(
+                sf,
+                node,
+                "bare `assert` is stripped under `python -O`; raise "
+                "`repro.errors.InvariantError` (or a specific "
+                "`repro.errors` exception) for load-bearing "
+                "invariants",
+            )
+            for node in ast.walk(sf.tree)
+            if isinstance(node, ast.Assert)
+        ]

@@ -1,0 +1,204 @@
+"""E1 — event schema: docs and code must agree exactly.
+
+``RunResult.events`` is part of the public result surface (the trace
+recorder serializes it, goldens hash it, the dashboard-to-be will
+stream it), and ``docs/schedulers.md`` documents its schema.  Schema
+docs rot silently: a renamed event kind breaks downstream consumers
+with no test failing.  This rule cross-checks the set of event kinds
+*actually emitted* by the engines against the event tables in
+``docs/schedulers.md``:
+
+* every kind emitted in code appears in a marked docs table;
+* every kind documented there is emitted somewhere in code;
+* every ``.emit(...)`` call's kind argument is statically resolvable
+  (a string literal, a literal conditional, or a local name assigned
+  only literals) — otherwise the schema cannot be machine-checked.
+
+The docs side reads markdown tables delimited by::
+
+    <!-- reprolint: event-table -->
+    | kind | ... |
+    |------|-----|
+    | `merge` | ... |
+    <!-- /reprolint: event-table -->
+
+(multiple marked tables are unioned).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.engine import Finding, ProjectRule, SourceFile
+
+_BEGIN = re.compile(r"<!--\s*reprolint:\s*event-table\s*-->")
+_END = re.compile(r"<!--\s*/reprolint:\s*event-table\s*-->")
+_ROW_KIND = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+
+def documented_kinds(text: str) -> Dict[str, int]:
+    """``kind -> line`` for rows of the marked tables in a doc."""
+    out: Dict[str, int] = {}
+    inside = False
+    for i, line in enumerate(text.splitlines(), start=1):
+        if _BEGIN.search(line):
+            inside = True
+            continue
+        if _END.search(line):
+            inside = False
+            continue
+        if not inside:
+            continue
+        m = _ROW_KIND.match(line.strip())
+        if m is not None:
+            out.setdefault(m.group(1), i)
+    return out
+
+
+class EventDocsCrossCheckRule(ProjectRule):
+    """E1: emitted event kinds == documented event kinds."""
+
+    rule_id = "E1"
+    title = "event-kind drift between engines and docs"
+
+    def __init__(
+        self,
+        code_prefixes: Sequence[str] = (
+            "src/repro/engine/",
+            "src/repro/core/",
+            "src/repro/api.py",
+        ),
+        doc_path: str = "docs/schedulers.md",
+    ) -> None:
+        self.code_prefixes = tuple(code_prefixes)
+        self.doc_path = doc_path
+
+    # -- code side -----------------------------------------------------
+    def _resolve_kind(
+        self, expr: ast.expr, sf: SourceFile
+    ) -> Optional[Set[str]]:
+        """The set of string values ``expr`` can take, or None."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return {expr.value}
+        if isinstance(expr, ast.IfExp):
+            body = self._resolve_kind(expr.body, sf)
+            orelse = self._resolve_kind(expr.orelse, sf)
+            if body is not None and orelse is not None:
+                return body | orelse
+            return None
+        if isinstance(expr, ast.Name):
+            func = None
+            for anc in sf.ancestors(expr):
+                if isinstance(
+                    anc, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    func = anc
+                    break
+            if func is None:
+                return None
+            values: Set[str] = set()
+            for sub in ast.walk(func):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if not any(
+                    isinstance(t, ast.Name) and t.id == expr.id
+                    for t in sub.targets
+                ):
+                    continue
+                resolved = self._resolve_kind(sub.value, sf)
+                if resolved is None:
+                    return None
+                values |= resolved
+            return values or None
+        return None
+
+    def _emitted_kinds(
+        self, files: Sequence[SourceFile]
+    ) -> Tuple[Dict[str, Tuple[str, int]], List[Finding]]:
+        kinds: Dict[str, Tuple[str, int]] = {}
+        problems: List[Finding] = []
+        for sf in files:
+            if not sf.rel.startswith(self.code_prefixes):
+                continue
+            for node in ast.walk(sf.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"
+                    and len(node.args) >= 2
+                ):
+                    continue
+                resolved = self._resolve_kind(node.args[1], sf)
+                if resolved is None:
+                    problems.append(
+                        Finding(
+                            self.rule_id,
+                            sf.rel,
+                            node.lineno,
+                            "event kind is not statically resolvable "
+                            "(use a string literal, a literal "
+                            "conditional, or a local assigned only "
+                            "literals) — the event schema must be "
+                            "machine-checkable against "
+                            f"{self.doc_path}",
+                        )
+                    )
+                    continue
+                for kind in resolved:
+                    kinds.setdefault(kind, (sf.rel, node.lineno))
+        return kinds, problems
+
+    # -- cross-check ---------------------------------------------------
+    def check_project(
+        self, files: Sequence[SourceFile], repo_root: Path
+    ) -> List[Finding]:
+        emitted, out = self._emitted_kinds(files)
+        doc_file = repo_root / self.doc_path
+        if not doc_file.exists():
+            out.append(
+                Finding(
+                    self.rule_id,
+                    self.doc_path,
+                    1,
+                    "event-schema doc not found; the emitted kinds "
+                    f"({', '.join(sorted(emitted))}) are undocumented",
+                )
+            )
+            return out
+        documented = documented_kinds(doc_file.read_text())
+        if not documented:
+            out.append(
+                Finding(
+                    self.rule_id,
+                    self.doc_path,
+                    1,
+                    "no `<!-- reprolint: event-table -->` marked table "
+                    "found; the event schema must be machine-checkable",
+                )
+            )
+            return out
+        for kind in sorted(set(emitted) - set(documented)):
+            rel, line = emitted[kind]
+            out.append(
+                Finding(
+                    self.rule_id,
+                    rel,
+                    line,
+                    f"event kind `{kind}` is emitted here but missing "
+                    f"from the event tables in {self.doc_path}",
+                )
+            )
+        for kind in sorted(set(documented) - set(emitted)):
+            out.append(
+                Finding(
+                    self.rule_id,
+                    self.doc_path,
+                    documented[kind],
+                    f"event kind `{kind}` is documented but no longer "
+                    f"emitted by any engine module",
+                )
+            )
+        return out
