@@ -2,14 +2,18 @@
 
 Sweeps are embarrassingly parallel — each point is an independent
 simulation — so every runner here accepts a ``workers`` argument and fans
-the points out over a :class:`concurrent.futures.ProcessPoolExecutor`:
+the points out over the process-global sweep orchestrator
+(:func:`repro.analysis.orchestrator.default_orchestrator`):
 
 * tasks are described by picklable primitives (family name, size, seed,
   config dataclass), never closures;
 * every task carries its own seed, so results are independent of worker
   count and scheduling;
-* results are collected with ``Executor.map``, which preserves submission
-  order — a parallel sweep returns bit-identical output to a serial one.
+* results are collected order-preserving and chunked — a parallel sweep
+  returns bit-identical output to a serial one;
+* the orchestrator's pool persists across calls, so a figure build
+  that sweeps a dozen times pays one pool spawn, not twelve — and a
+  worker that dies mid-sweep is respawned with its job requeued.
 
 ``workers=None`` (default) runs serially in-process; ``workers=0`` uses
 one worker per CPU.
@@ -18,7 +22,6 @@ one worker per CPU.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -80,16 +83,28 @@ def _resolve_workers(workers: Optional[int]) -> Optional[int]:
     return workers
 
 
-def _map_maybe_parallel(fn, items, workers: Optional[int]) -> list:
-    """Order-preserving map, fanned over a process pool when requested.
+def _map_maybe_parallel(
+    fn,
+    items,
+    workers: Optional[int],
+    *,
+    chunksize: Optional[int] = None,
+) -> list:
+    """Order-preserving map, fanned over the shared orchestrator pool
+    when requested.
 
     ``fn`` and every item must be picklable for the parallel path.
+    ``chunksize`` batches items per worker task (default: sized for ~4
+    chunks per worker).  The import is deliberately lazy — serial
+    callers never touch multiprocessing.
     """
     pool_size = _resolve_workers(workers)
     if pool_size is None:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=pool_size) as executor:
-        return list(executor.map(fn, items))
+    from repro.analysis.orchestrator import default_orchestrator
+
+    orch = default_orchestrator(pool_size)
+    return orch.map(fn, items, chunksize=chunksize)
 
 
 def run_job(job: SweepJob) -> ScalingPoint:

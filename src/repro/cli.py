@@ -18,21 +18,33 @@ Commands
 ``ablate``   sweep one AlgorithmConfig field (parallel with ``--jobs``)
 ``compare``  round counts across strategies, each on its worst-case
              family (E2-E4; ``--strategies`` picks the columns)
+``sweep``    durable sweeps as directories: ``submit`` writes the job
+             spec, ``run`` executes it over the persistent worker pool
+             (``--detach`` backgrounds it; interrupted grid jobs resume
+             from their trace checkpoints), ``status``/``collect``
+             report progress and results from any process
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 from typing import List, Optional
 
-from repro.analysis.experiments import run_ablation, run_scaling
+from repro.analysis.experiments import (
+    SweepJob,
+    run_ablation,
+    run_scaling,
+)
 from repro.analysis.fitting import fit_linear, scaling_exponent
 from repro.analysis.tables import format_table
 from repro.api import SCHEDULERS, STRATEGIES, simulate
 from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
+from repro.engine.executors import PLAN_BACKENDS, ExecutorUnavailable
 from repro.engine.protocols import Scenario, SimContext
 from repro.swarms.generators import FAMILIES
 from repro.viz.ascii_art import render_with_marks
@@ -141,14 +153,23 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="worker threads for --shard-planning (default: min(4, CPUs))",
     )
+    p.add_argument(
+        "--shard-backend",
+        default=None,
+        choices=list(PLAN_BACKENDS),
+        help="executor behind --shard-planning (default: thread; "
+        "'process' = persistent workers over shared-memory round "
+        "snapshots, 'subinterp' needs Python 3.14+)",
+    )
 
 
 #: Exceptions the facade raises for bad strategy/scheduler/flag
 #: combinations — argparse validates each flag alone, the facade the
 #: combination.  TypeError covers scheduler-option mismatches (e.g.
 #: ``--fault-rate`` with ``--scheduler fsync``), whose message names the
-#: valid registry keys.
-_USAGE_ERRORS = (KeyError, ValueError, TypeError)
+#: valid registry keys; ExecutorUnavailable covers a ``--shard-backend``
+#: this interpreter cannot run (its message names the alternatives).
+_USAGE_ERRORS = (KeyError, ValueError, TypeError, ExecutorUnavailable)
 
 
 def _fail(exc: BaseException) -> int:
@@ -198,6 +219,14 @@ def _config(args: argparse.Namespace) -> AlgorithmConfig:
                 "count only applies to the sharded planner)"
             )
         kwargs["shard_workers"] = shard_workers
+    shard_backend = getattr(args, "shard_backend", None)
+    if shard_backend is not None:
+        if not getattr(args, "shard_planning", False):
+            raise ValueError(
+                "--shard-backend requires --shard-planning (the "
+                "backend selects the sharded planner's executor)"
+            )
+        kwargs["shard_backend"] = shard_backend
     radius = getattr(args, "radius", None)
     if radius is not None:
         return AlgorithmConfig.with_radius(radius, **kwargs)
@@ -439,6 +468,179 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Durable sweeps (repro.analysis.orchestrator)
+# ----------------------------------------------------------------------
+def _sweep_workers(jobs: Optional[int]) -> Optional[int]:
+    """``--jobs`` for sweep runs: 0 = one worker per CPU; None = the
+    orchestrator default (min(4, CPUs)); negative fails in the
+    orchestrator with a real message."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def cmd_sweep_submit(args: argparse.Namespace) -> int:
+    from repro.analysis.orchestrator import SweepJobStore
+
+    sizes = args.sizes or [args.n, args.n * 2, args.n * 4]
+    try:
+        cfg = _config(args)
+        options = tuple(sorted(_scheduler_options(args).items()))
+        jobs = [
+            SweepJob(
+                family=args.family,
+                n=size,
+                seed=args.seed,
+                cfg=cfg,
+                check_connectivity=not args.no_connectivity,
+                max_rounds=args.max_rounds,
+                strategy=args.strategy,
+                scheduler=args.scheduler,
+                options=options,
+            )
+            for size in sizes
+        ]
+        store = SweepJobStore.create(args.dir, jobs)
+    except (*_USAGE_ERRORS, OSError) as exc:
+        return _fail(exc)
+    ids = list(store.jobs())
+    print(
+        f"created sweep {store.root} with {len(ids)} jobs "
+        f"({ids[0]} .. {ids[-1]}); run with "
+        f"'python -m repro sweep run {args.dir}'"
+    )
+    return 0
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.analysis.orchestrator import SweepJobStore, run_store
+
+    try:
+        store = SweepJobStore.open(args.dir)
+    except (*_USAGE_ERRORS, OSError) as exc:
+        return _fail(exc)
+    if args.detach:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "sweep",
+            "run",
+            args.dir,
+            "--checkpoint-every",
+            str(args.checkpoint_every),
+        ]
+        if args.jobs is not None:
+            cmd += ["--jobs", str(args.jobs)]
+        proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        print(
+            f"sweep running detached (pid {proc.pid}); poll with "
+            f"'python -m repro sweep status {args.dir}'"
+        )
+        return 0
+
+    def progress(job_id: str, point) -> None:
+        print(
+            f"{job_id}: n={point.n} rounds={point.rounds} "
+            f"gathered={point.gathered}"
+        )
+
+    try:
+        results = run_store(
+            store,
+            workers=_sweep_workers(args.jobs),
+            checkpoint_every=args.checkpoint_every,
+            on_result=progress,
+        )
+    except _USAGE_ERRORS as exc:
+        return _fail(exc)
+    print(f"{len(results)}/{len(store.jobs())} jobs done")
+    return 0
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.analysis.orchestrator import SweepJobStore
+
+    try:
+        store = SweepJobStore.open(args.dir)
+    except (*_USAGE_ERRORS, OSError) as exc:
+        return _fail(exc)
+    jobs = store.jobs()
+    status = store.status()
+    if args.json:
+        counts: dict = {}
+        for state in status.values():
+            counts[state] = counts.get(state, 0) + 1
+        print(json.dumps({"jobs": status, "counts": counts}))
+        return 0
+    rows = [
+        (job_id, jobs[job_id].family, jobs[job_id].n, status[job_id])
+        for job_id in jobs
+    ]
+    print(
+        format_table(
+            ["job", "family", "n", "state"],
+            rows,
+            title=f"sweep {store.root}",
+        )
+    )
+    done = sum(1 for s in status.values() if s == "done")
+    print(f"{done}/{len(status)} done")
+    return 0 if done == len(status) else 1
+
+
+def cmd_sweep_collect(args: argparse.Namespace) -> int:
+    from repro.analysis.orchestrator import SweepJobStore
+
+    try:
+        store = SweepJobStore.open(args.dir)
+    except (*_USAGE_ERRORS, OSError) as exc:
+        return _fail(exc)
+    status = store.status()
+    points = {}
+    for job_id, state in status.items():
+        if state == "done":
+            points[job_id] = store.result(job_id)
+    complete = len(points) == len(status)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "complete": complete,
+                    "results": {
+                        job_id: {
+                            "n": p.n,
+                            "rounds": p.rounds,
+                            "gathered": p.gathered,
+                            "merges": p.merges,
+                            "diameter": p.diameter,
+                        }
+                        for job_id, p in points.items()
+                    },
+                }
+            )
+        )
+        return 0 if complete else 1
+    rows = [
+        (job_id, p.n, p.diameter, p.rounds, p.gathered)
+        for job_id, p in points.items()
+    ]
+    print(
+        format_table(
+            ["job", "n", "diameter", "rounds", "gathered"],
+            rows,
+            title=f"sweep {store.root}: {len(points)}/{len(status)} done",
+        )
+    )
+    return 0 if complete else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -510,6 +712,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable rows"
     )
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "sweep",
+        help="durable sweeps: submit/run/status/collect a job directory",
+    )
+    ssub = p.add_subparsers(dest="sweep_command", required=True)
+
+    ps = ssub.add_parser(
+        "submit", help="write a sweep spec directory from sizes"
+    )
+    ps.add_argument("dir", help="sweep directory (must not exist yet)")
+    _add_common(ps)
+    ps.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        help="robot counts to sweep (default: n, 2n, 4n)",
+    )
+    ps.add_argument("--max-rounds", type=int, default=None)
+    ps.add_argument(
+        "--no-connectivity",
+        action="store_true",
+        help="skip the per-round connectivity check",
+    )
+    ps.set_defaults(fn=cmd_sweep_submit)
+
+    ps = ssub.add_parser(
+        "run",
+        help="execute unfinished jobs (resumes from trace checkpoints)",
+    )
+    ps.add_argument("dir", help="sweep directory")
+    ps.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU; default min(4, CPUs))",
+    )
+    ps.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=200,
+        help="rounds between embedded trace checkpoints (default 200)",
+    )
+    ps.add_argument(
+        "--detach",
+        action="store_true",
+        help="background the run; poll with 'sweep status'",
+    )
+    ps.set_defaults(fn=cmd_sweep_run)
+
+    ps = ssub.add_parser("status", help="per-job state of a sweep")
+    ps.add_argument("dir", help="sweep directory")
+    ps.add_argument(
+        "--json", action="store_true", help="machine-readable status"
+    )
+    ps.set_defaults(fn=cmd_sweep_status)
+
+    ps = ssub.add_parser(
+        "collect", help="print completed results of a sweep"
+    )
+    ps.add_argument("dir", help="sweep directory")
+    ps.add_argument(
+        "--json", action="store_true", help="machine-readable results"
+    )
+    ps.set_defaults(fn=cmd_sweep_collect)
     return parser
 
 

@@ -80,6 +80,16 @@ class AlgorithmConfig:
     #: Worker count for sharded planning; 0 picks ``min(4, cpu_count)``.
     shard_workers: int = 0
 
+    #: Executor backend for sharded planning (``shard_planning``):
+    #: ``"thread"`` (stock pool; a speedup only on GIL-free
+    #: interpreters), ``"process"`` (persistent worker processes fed a
+    #: shared-memory round snapshot — real multi-core planning), or
+    #: ``"subinterp"`` (per-interpreter workers, requires an interpreter
+    #: with ``concurrent.futures.InterpreterPoolExecutor``).  All
+    #: backends are bit-identical to serial planning (the equivalence
+    #: suite asserts it); the choice is purely a performance knob.
+    shard_backend: str = "thread"
+
     @classmethod
     def with_radius(cls, viewing_radius: int, **overrides) -> "AlgorithmConfig":
         """A config for a non-default viewing radius with the dependent
@@ -117,4 +127,9 @@ class AlgorithmConfig:
         if self.shard_workers < 0:
             raise ValueError(
                 "shard_workers must be >= 0 (0 = auto: min(4, cpu_count))"
+            )
+        if self.shard_backend not in ("thread", "process", "subinterp"):
+            raise ValueError(
+                f"shard_backend must be one of 'thread', 'process', "
+                f"'subinterp', got {self.shard_backend!r}"
             )

@@ -419,7 +419,34 @@ class RunManager:
             runs_per_boundary,
             runner_cells,
         )
-        if executor is not None and len(order) > 1:
+        snapshot_map = getattr(executor, "snapshot_map", None)
+        if snapshot_map is not None and len(order) > 1:
+            # Out-of-process backends: freeze the shared context into a
+            # round snapshot (published once; see engine/snapshot.py),
+            # ship shards as bare run-id lists, rebuild _Planned records
+            # around this manager's own Run objects from the slim
+            # results.  Lazy import: engine.snapshot imports this module.
+            from repro.engine.snapshot import (
+                encode_round_context,
+                plan_results_from_slim,
+            )
+
+            payload = encode_round_context(
+                cfg,
+                self.runs,
+                occupied,
+                merge_moves,
+                located,
+                lost_set,
+                round_index,
+            )
+            shards = self._plan_shards(order, located)
+            slim: Dict[int, tuple] = {}
+            for shard_result in snapshot_map(payload, shards):
+                for rid, terminate, next_robot, fold in shard_result:
+                    slim[rid] = (terminate, next_robot, fold)
+            results = plan_results_from_slim(self, order, slim)
+        elif executor is not None and len(order) > 1:
             shards = self._plan_shards(order, located)
             planned_by_rid: Dict[int, Tuple[_Planned, Optional[Cell]]] = {}
             for shard_result in executor.map(

@@ -178,6 +178,17 @@ class FsyncEngine:
         :func:`close_controller`); the engine remains usable."""
         close_controller(self.controller)
 
+    def __enter__(self) -> "FsyncEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Context-manager exit: controller pools are released even when
+        a ``step()`` loop raises mid-round — the planning executors hold
+        real worker processes, so leaking them on the exception path is
+        a resource bug (the lifecycle regression tests pin this)."""
+        self.close()
+        return False
+
     # ------------------------------------------------------------------
     def step(self) -> int:
         """Execute one FSYNC round; returns the number of merged robots."""
@@ -237,9 +248,17 @@ class FsyncEngine:
             else default_round_budget(n0)
         )
         gathered = is_gathered(self.state, self.gather_square)
-        while not gathered and self.round_index < budget:
-            self.step()
-            gathered = is_gathered(self.state, self.gather_square)
+        try:
+            while not gathered and self.round_index < budget:
+                self.step()
+                gathered = is_gathered(self.state, self.gather_square)
+        except BaseException:
+            # A failing round must not leak the controller's planning
+            # pool (worker processes); close and re-raise — close() is
+            # idempotent and pools are recreated on demand, so a caller
+            # that catches and resumes loses nothing.
+            self.close()
+            raise
         if not gathered and raise_on_budget:
             raise NotGathered(self.round_index, len(self.state))
         # Terminal event (round_index == total rounds executed): the log

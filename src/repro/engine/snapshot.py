@@ -1,0 +1,304 @@
+"""Round-snapshot codec for the persistent-worker planning executors.
+
+``RunManager.plan`` shards :meth:`RunManager._plan_one` over an
+order-preserving ``map``.  For in-process executors the shards close
+over the live round context; a worker *process* cannot — and pickling
+live :class:`~repro.grid.ring.BoundaryRing` objects per shard call would
+drown any parallel win in serialization.  This module flattens the
+round's read-only planning context into one compact byte payload that is
+published **once per round** (the process backend parks it in
+``multiprocessing.shared_memory``) and decoded once per worker:
+
+* the header (config, round index, lost run ids) is a small pickle;
+* the bulk — occupied cells, merge-move pairs, the run table, ring cell
+  sequences, run locations — is a flat ``array('i')`` of int32s;
+* only the rings that actually host a located run are encoded, as their
+  side-node **cell sequences**: planning navigates rings exclusively
+  through occurrence heads (:meth:`BoundaryRing.walk_heads` compares
+  cells, never normals), so normals, order labels, and min-heaps are
+  dead weight and are not shipped.
+
+Bit-identity with serial planning holds because the decoder rebuilds
+exactly what ``_plan_one`` reads, in the same order the parent built it:
+``located`` preserves its insertion order (sorted run id, from
+``locate``), which fixes the ``at_node`` occupant-list order that rule 1
+iterates, and collapsed ring lengths are recomputed with the same
+change-edge formula the live rings maintain incrementally.
+
+:func:`decode_round_context` and :func:`plan_shard` are the code a
+worker process executes — they are purity entry points of reprolint's P1
+rule (write-free apart from locally created objects), same as
+``_plan_one`` itself.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Set
+
+from repro.core.config import AlgorithmConfig
+from repro.core.runs import Run, RunLocation, RunManager
+from repro.grid.geometry import Cell
+from repro.grid.ring import BoundaryRing, RingNode, _change_edge_count
+
+#: Payload format tag; bump on any layout change so a stale worker fails
+#: loudly instead of misplanning.
+_MAGIC = b"RSN1"
+
+_AXES = ("h", "v")
+
+
+class DecodedRound(NamedTuple):
+    """A worker-side reconstruction of one round's planning context."""
+
+    manager: RunManager
+    ctx: tuple  # the positional tail of ``RunManager._plan_one``
+
+
+def encode_round_context(
+    cfg: AlgorithmConfig,
+    runs: Mapping[int, Run],
+    occupied: Set[Cell],
+    merge_moves: Mapping[Cell, Cell],
+    located: Mapping[int, RunLocation],
+    lost: Set[int],
+    round_index: int,
+) -> bytes:
+    """Flatten one round's read-only planning context into bytes."""
+    header = pickle.dumps(
+        {"cfg": cfg, "round": round_index, "lost": sorted(lost)},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    ints = array("i")
+    cells = sorted(occupied)
+    ints.append(len(cells))
+    for x, y in cells:
+        ints.append(x)
+        ints.append(y)
+    moves = sorted(merge_moves.items())
+    ints.append(len(moves))
+    for (sx, sy), (tx, ty) in moves:
+        ints.extend((sx, sy, tx, ty))
+    ints.append(len(runs))
+    for rid in sorted(runs):
+        run = runs[rid]
+        ints.extend(
+            (
+                run.run_id,
+                run.robot[0],
+                run.robot[1],
+                run.prev[0],
+                run.prev[1],
+                run.direction,
+                _AXES.index(run.axis),
+                run.born_round,
+            )
+        )
+    # Rings in first-located order; located entries point at (ring slot,
+    # node index in iteration order from the ring head).
+    ring_slots: Dict[int, int] = {}  # id(ring) -> slot
+    ring_payload = array("i")
+    node_index: Dict[int, int] = {}  # id(node) -> index (all rings)
+    loc_payload = array("i")
+    n_rings = 0
+    for rid, loc in located.items():
+        slot = ring_slots.get(id(loc.ring))
+        if slot is None:
+            slot = n_rings
+            n_rings += 1
+            ring_slots[id(loc.ring)] = slot
+            nodes = list(loc.ring.iter_nodes())
+            ring_payload.append(loc.b_idx)
+            ring_payload.append(len(nodes))
+            for i, nd in enumerate(nodes):
+                node_index[id(nd)] = i
+                ring_payload.append(nd.cell[0])
+                ring_payload.append(nd.cell[1])
+        loc_payload.extend((rid, slot, node_index[id(loc.node)]))
+    ints.append(n_rings)
+    ints.extend(ring_payload)
+    ints.append(len(located))
+    ints.extend(loc_payload)
+    head = len(header).to_bytes(4, "little")
+    return _MAGIC + head + header + ints.tobytes()
+
+
+def _rebuild_ring(slot: int, cells: List[Cell]) -> BoundaryRing:
+    """A bare linked ring over a cell sequence — just enough structure
+    for ``len(ring)`` / ``walk_heads`` (is_outer and normals are never
+    read by planning; the slot stands in for the ring id)."""
+    nodes = [RingNode(cell, (0, 0), i) for i, cell in enumerate(cells)]
+    ring = BoundaryRing(ring_id=slot, is_outer=False, head=nodes[0])
+    last = len(nodes) - 1
+    for i, node in enumerate(nodes):
+        node.ring = ring
+        node.prev = nodes[i - 1]
+        node.next = nodes[i + 1] if i < last else nodes[0]
+    ring.size = len(nodes)
+    ring._change_edges = _change_edge_count(cells) + (
+        1 if cells[0] != cells[-1] else 0
+    )
+    return ring
+
+
+def decode_round_context(payload: bytes) -> DecodedRound:
+    """Rebuild the planning context :func:`encode_round_context` froze.
+
+    Purity entry point (reprolint P1): every write below targets objects
+    created in this call — nothing observable outside it is touched.
+    """
+    if payload[:4] != _MAGIC:
+        raise ValueError(
+            f"bad snapshot payload: expected magic {_MAGIC!r}, got "
+            f"{bytes(payload[:4])!r} (executor/worker version skew?)"
+        )
+    header_len = int.from_bytes(payload[4:8], "little")
+    header = pickle.loads(payload[8 : 8 + header_len])
+    cfg: AlgorithmConfig = header["cfg"]
+    round_index: int = header["round"]
+    lost: Set[int] = set(header["lost"])
+    ints = array("i")
+    ints.frombytes(payload[8 + header_len :])
+    pos = 0
+    n_cells = ints[pos]
+    pos += 1
+    occupied = {
+        (ints[pos + i], ints[pos + i + 1])
+        for i in range(0, 2 * n_cells, 2)
+    }
+    pos += 2 * n_cells
+    n_moves = ints[pos]
+    pos += 1
+    merge_moves: Dict[Cell, Cell] = {}
+    for i in range(pos, pos + 4 * n_moves, 4):
+        merge_moves[(ints[i], ints[i + 1])] = (ints[i + 2], ints[i + 3])
+    pos += 4 * n_moves
+    n_runs = ints[pos]
+    pos += 1
+    runs: Dict[int, Run] = {}
+    for i in range(pos, pos + 8 * n_runs, 8):
+        runs[ints[i]] = Run(
+            run_id=ints[i],
+            robot=(ints[i + 1], ints[i + 2]),
+            prev=(ints[i + 3], ints[i + 4]),
+            direction=ints[i + 5],
+            axis=_AXES[ints[i + 6]],
+            born_round=ints[i + 7],
+        )
+    pos += 8 * n_runs
+    n_rings = ints[pos]
+    pos += 1
+    rings: List[BoundaryRing] = []
+    ring_b_idx: List[int] = []
+    ring_nodes: List[List[RingNode]] = []
+    for slot in range(n_rings):
+        b_idx = ints[pos]
+        n_nodes = ints[pos + 1]
+        pos += 2
+        cells = [
+            (ints[pos + i], ints[pos + i + 1])
+            for i in range(0, 2 * n_nodes, 2)
+        ]
+        pos += 2 * n_nodes
+        ring = _rebuild_ring(slot, cells)
+        rings.append(ring)
+        ring_b_idx.append(b_idx)
+        ring_nodes.append(list(ring.iter_nodes()))
+    n_located = ints[pos]
+    pos += 1
+    located: Dict[int, RunLocation] = {}
+    at_node: Dict[int, List[int]] = {}
+    runs_per_boundary: Dict[int, int] = {}
+    for i in range(pos, pos + 3 * n_located, 3):
+        rid, slot, node_idx = ints[i], ints[i + 1], ints[i + 2]
+        node = ring_nodes[slot][node_idx]
+        b_idx = ring_b_idx[slot]
+        located[rid] = RunLocation(b_idx, rings[slot], node)
+        at_node.setdefault(id(node), []).append(rid)
+        runs_per_boundary[b_idx] = runs_per_boundary.get(b_idx, 0) + 1
+    runner_cells = {run.robot for run in runs.values()}
+
+    # A bare manager (no pool, no planned state): ``_plan_one`` reads
+    # only ``cfg`` and ``runs``, and ``__new__`` sidesteps the
+    # constructor's pool bookkeeping a worker never uses.
+    manager = RunManager.__new__(RunManager)
+    manager.cfg = cfg
+    manager.runs = runs
+    manager._next_id = 0
+    manager._planned = []
+    ctx = (
+        occupied,
+        merge_moves,
+        located,
+        lost,
+        round_index,
+        at_node,
+        runs_per_boundary,
+        runner_cells,
+    )
+    return DecodedRound(manager, ctx)
+
+
+def plan_shard(
+    decoded: DecodedRound, shard: Sequence[int]
+) -> List[tuple]:
+    """Plan one shard of run ids against a decoded round context.
+
+    Returns slim ``(rid, terminate, next_robot, fold)`` tuples — the
+    parent rebuilds its ``_Planned`` records around its *own* ``Run``
+    objects, so no run state crosses back over the process boundary.
+
+    Purity entry point (reprolint P1): the per-run compute is
+    ``_plan_one`` itself, on worker-local state.
+    """
+    manager = decoded.manager
+    ctx = decoded.ctx
+    out: List[tuple] = []
+    for rid in shard:
+        planned, fold = manager._plan_one(rid, *ctx)
+        out.append((rid, planned.terminate, planned.next_robot, fold))
+    return out
+
+
+def plan_results_from_slim(
+    manager: RunManager,
+    order: Sequence[int],
+    slim: Mapping[int, tuple],
+) -> List[tuple]:
+    """Parent-side rebuild: slim worker tuples -> the ``(planned,
+    fold)`` list the serial path produces, in run-id order."""
+    from repro.core.runs import _Planned
+
+    results = []
+    for rid in order:
+        terminate, next_robot, fold = slim[rid]
+        results.append(
+            (
+                _Planned(
+                    manager.runs[rid],
+                    terminate=terminate,
+                    next_robot=next_robot,
+                ),
+                fold,
+            )
+        )
+    return results
+
+
+#: Worker-side snapshot cache: the latest decoded round, keyed by the
+#: publisher's (name, seq).  One entry only — rounds are strictly
+#: ordered, so an old snapshot can never be referenced again.  This
+#: cache is the *impure boundary* around the pure P1 entry points above:
+#: executors' worker tasks write here, never the planning code.
+_SNAPSHOT_CACHE: Dict[tuple, DecodedRound] = {}
+
+
+def cached_decode(key: tuple, payload_bytes: bytes) -> DecodedRound:
+    """Decode-once-per-round helper for worker processes/interpreters."""
+    decoded = _SNAPSHOT_CACHE.get(key)
+    if decoded is None:
+        decoded = decode_round_context(payload_bytes)
+        _SNAPSHOT_CACHE.clear()
+        _SNAPSHOT_CACHE[key] = decoded
+    return decoded

@@ -4,6 +4,16 @@ The algorithm is deterministic (all tie-breaks are structural), so a replay
 from the same initial cells must reproduce every round exactly; `verify_trace`
 asserts that, catching any accidental nondeterminism (e.g. set-iteration
 order leaking into decisions).
+
+Checkpoint-and-resume rides on the same determinism: the whole
+controller-side simulation state of the grid strategy is the swarm cells
+plus the :class:`~repro.core.runs.RunManager` run table — everything
+else (contours, start-site indexes, incremental caches) is a pure
+function of the cells, rebuilt bit-identically on demand (the
+equivalence suite pins incremental == full rescan).  So a checkpoint is
+tiny (:func:`controller_checkpoint`), and :func:`resume_engine` restores
+a :class:`~repro.engine.scheduler.FsyncEngine` from any checkpointed
+trace row that continues the original trajectory exactly.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
+from repro.core.runs import Run
 from repro.engine.scheduler import FsyncEngine
 from repro.grid.occupancy import SwarmState
 from repro.trace.recorder import TraceRow
@@ -47,3 +58,91 @@ def verify_trace(
         if frozenset(row.cells) != state:
             return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+def controller_checkpoint(controller: GatherOnGrid) -> dict:
+    """The JSON-able run-table snapshot of a grid controller.
+
+    Everything needed to continue planning: the live runs (frozen
+    dataclasses — copied by value into lists) and the next run id.
+    Derived structures are deliberately absent; they are rebuilt from
+    the swarm cells on resume.
+    """
+    manager = controller.run_manager
+    return {
+        "next_id": manager._next_id,
+        "runs": [
+            [
+                run.run_id,
+                list(run.robot),
+                list(run.prev),
+                run.direction,
+                run.axis,
+                run.born_round,
+            ]
+            for _, run in sorted(manager.runs.items())
+        ],
+    }
+
+
+def restore_controller(
+    checkpoint: dict, cfg: Optional[AlgorithmConfig] = None
+) -> GatherOnGrid:
+    """A fresh :class:`GatherOnGrid` with the checkpointed run table."""
+    controller = GatherOnGrid(cfg)
+    manager = controller.run_manager
+    manager._next_id = int(checkpoint["next_id"])
+    manager.runs = {
+        int(row[0]): Run(
+            run_id=int(row[0]),
+            robot=(int(row[1][0]), int(row[1][1])),
+            prev=(int(row[2][0]), int(row[2][1])),
+            direction=int(row[3]),
+            axis=str(row[4]),
+            born_round=int(row[5]),
+        )
+        for row in checkpoint["runs"]
+    }
+    return controller
+
+
+def resume_engine(
+    row: TraceRow,
+    cfg: Optional[AlgorithmConfig] = None,
+    *,
+    check_connectivity: bool = True,
+    **engine_kwargs,
+) -> FsyncEngine:
+    """An engine continuing from a checkpointed trace row.
+
+    The recorder's ``on_round`` hook fires after a round is applied and
+    the run table finalized, so the row is post-round state and the
+    resumed engine starts at ``row.round_index + 1``.  Callers resuming
+    a budgeted run must pass the *original* ``max_rounds`` to
+    :meth:`~repro.engine.scheduler.FsyncEngine.run` — the default
+    budget is derived from the current (already shrunk) robot count.
+    """
+    if row.checkpoint is None:
+        raise ValueError(
+            f"trace row for round {row.round_index} carries no "
+            f"checkpoint; resume needs a CheckpointRecorder trace"
+        )
+    engine = FsyncEngine(
+        SwarmState(row.cells),
+        restore_controller(row.checkpoint, cfg),
+        check_connectivity=check_connectivity,
+        **engine_kwargs,
+    )
+    engine.round_index = row.round_index + 1
+    return engine
+
+
+def last_checkpoint(rows: Sequence[TraceRow]) -> Optional[TraceRow]:
+    """The latest row carrying a checkpoint, or ``None``."""
+    for row in reversed(rows):
+        if row.checkpoint is not None:
+            return row
+    return None

@@ -92,8 +92,18 @@ class SharedStatePurityRule(ProjectRule):
         self,
         entries: Sequence[Tuple[str, str]] = (
             ("src/repro/core/runs.py", "RunManager._plan_one"),
+            # Worker-process entry points of the snapshot codec: a
+            # worker's planning path must be as write-free as the
+            # in-process one (its only sanctioned impurity is the
+            # executors' cached_decode boundary, which stays outside
+            # these call graphs).
+            ("src/repro/engine/snapshot.py", "decode_round_context"),
+            ("src/repro/engine/snapshot.py", "plan_shard"),
         ),
-        follow_prefixes: Sequence[str] = ("src/repro/core/",),
+        follow_prefixes: Sequence[str] = (
+            "src/repro/core/",
+            "src/repro/engine/snapshot.py",
+        ),
     ) -> None:
         self.entries = tuple(entries)
         self.follow_prefixes = tuple(follow_prefixes)
