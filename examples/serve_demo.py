@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Drive the simulation service like an HTTP client would.
+
+Boots a local service (unless ``--url`` points at a running one),
+submits three scenarios through ``POST /runs``, waits for the workers
+to finish them, and prints a status table assembled *entirely from the
+API* — the same endpoints the dashboard at ``/`` consumes.
+
+Run:  python examples/serve_demo.py
+      python examples/serve_demo.py --url http://127.0.0.1:8765
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from urllib.request import Request, urlopen
+
+SCENARIOS = [
+    {"family": "ring", "n": 40, "seed": 2},
+    {"family": "blob", "n": 24, "seed": 3},
+    {"family": "plus", "n": 30, "seed": 1},
+]
+
+
+def api(url: str, method: str = "GET", payload: dict | None = None):
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = Request(url, data=data, headers=headers, method=method)
+    with urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def wait_until_settled(base: str, run_ids, deadline_s=120.0):
+    start = time.time()
+    while time.time() - start < deadline_s:
+        records = {
+            r["run_id"]: r
+            for r in api(f"{base}/runs")["runs"]
+            if r["run_id"] in run_ids
+        }
+        if all(
+            r["status"] in ("done", "failed")
+            for r in records.values()
+        ):
+            return records
+        time.sleep(0.1)
+    raise TimeoutError(f"runs not settled after {deadline_s}s")
+
+
+def demo(base: str) -> None:
+    health = api(f"{base}/health")
+    print(
+        f"service at {base}: {health['status']}, "
+        f"{health['workers']} workers\n"
+    )
+
+    run_ids = []
+    for scenario in SCENARIOS:
+        accepted = api(f"{base}/runs", "POST", scenario)
+        run_ids.append(accepted["id"])
+        print(f"submitted {accepted['id']}: {scenario}")
+
+    records = wait_until_settled(base, set(run_ids))
+
+    print(f"\n{'run':<12} {'scenario':<22} {'status':<8} "
+          f"{'rounds':>6} {'robots':>7} {'gathered':>8}")
+    for run_id in run_ids:
+        record = records[run_id]
+        params = record["params"]
+        scenario = f"{params.get('family')}/n={params.get('n')}"
+        metrics = record.get("metrics") or {}
+        robots = (
+            f"{metrics.get('robots_initial', '?')}"
+            f"->{metrics.get('robots_final', '?')}"
+        )
+        print(
+            f"{run_id:<12} {scenario:<22} {record['status']:<8} "
+            f"{metrics.get('rounds', '-'):>6} {robots:>7} "
+            f"{str(metrics.get('gathered', '-')):>8}"
+        )
+
+    first = run_ids[0]
+    frame_url = f"{base}/runs/{first}/frame.svg?round=latest"
+    print(f"\nlive dashboard: {base}/")
+    print(f"frames, e.g.:   {frame_url}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running service (default: self-host one)",
+    )
+    args = parser.parse_args(argv)
+    if args.url is not None:
+        demo(args.url.rstrip("/"))
+        return 0
+
+    # Self-host: an in-process server over a throwaway data directory.
+    from repro.service.app import ServiceApp
+    from repro.service.server import ServiceServer
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = ServiceServer(
+            ServiceApp(tmp, workers=2, poll_interval=0.02), port=0
+        )
+        server.start()
+        try:
+            demo(server.url)
+        finally:
+            server.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -146,16 +146,31 @@ class SweepOrchestrator:
         return False
 
     # -- job submission / collection -----------------------------------
-    def submit(self, job: SweepJob) -> str:
-        """Queue one sweep job; returns its stable id (``job-000001``,
-        numbered in submission order)."""
+    def submit_task(
+        self, fn: Callable, args: tuple = ()
+    ) -> str:
+        """Queue one arbitrary call as a job; returns its stable id.
+
+        The generic entry point under :meth:`submit` — ``fn`` and
+        ``args`` must be picklable (module-level function, plain-data
+        arguments).  The serving layer
+        (:mod:`repro.service.workers`) dispatches its run executions
+        through this, sharing the persistent pool, the stable-id
+        bookkeeping, and the pool's respawn-and-requeue recovery with
+        the sweep machinery.
+        """
         job_id = f"job-{self._next_job:06d}"
         self._next_job += 1
-        task_id = self._pool().submit(run_job, (job,))
+        task_id = self._pool().submit(fn, tuple(args))
         self._order.append(job_id)
         self._task_of[job_id] = task_id
         self._job_of[task_id] = job_id
         return job_id
+
+    def submit(self, job: SweepJob) -> str:
+        """Queue one sweep job; returns its stable id (``job-000001``,
+        numbered in submission order)."""
+        return self.submit_task(run_job, (job,))
 
     def submit_all(self, jobs: Sequence[SweepJob]) -> List[str]:
         return [self.submit(job) for job in jobs]
@@ -172,6 +187,18 @@ class SweepOrchestrator:
         if isinstance(value, BaseException):
             raise value
         raise WorkerTaskError(f"sweep job {job_id} failed:\n{value}")
+
+    def outcome(self, job_id: str) -> Optional[Tuple[bool, object]]:
+        """The raw ``(ok, value)`` of a completed job, else ``None``.
+
+        Non-blocking and non-raising (unlike :meth:`collect`):
+        ``value`` is the task's return value when ``ok`` or its
+        exception/traceback text when not.  Call :meth:`poll` first to
+        drain newly completed tasks.  Unknown ids raise ``KeyError``.
+        """
+        if job_id not in self._done and job_id not in self._task_of:
+            raise KeyError(f"unknown job id: {job_id}")
+        return self._done.get(job_id)
 
     def poll(self) -> Dict[str, str]:
         """Non-blocking status of every submitted job:

@@ -23,6 +23,8 @@ Commands
              (``--detach`` backgrounds it; interrupted grid jobs resume
              from their trace checkpoints), ``status``/``collect``
              report progress and results from any process
+``serve``    simulation-as-a-service: HTTP API + live dashboard over a
+             durable run registry (see docs/service.md)
 """
 
 from __future__ import annotations
@@ -641,6 +643,32 @@ def cmd_sweep_collect(args: argparse.Namespace) -> int:
     return 0 if complete else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ServiceApp
+    from repro.service.server import ServiceServer
+
+    try:
+        app = ServiceApp(
+            args.data_dir,
+            workers=_sweep_workers(args.jobs),
+            checkpoint_every=args.checkpoint_every,
+        )
+        server = ServiceServer(app, host=args.host, port=args.port)
+    except (*_USAGE_ERRORS, OSError) as exc:
+        return _fail(exc)
+    print(
+        f"serving on {server.url} (runs in {args.data_dir}); "
+        f"dashboard at {server.url}/ — Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -778,6 +806,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable results"
     )
     ps.set_defaults(fn=cmd_sweep_collect)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP API + live dashboard over a durable run registry",
+    )
+    p.add_argument(
+        "data_dir",
+        help="registry directory for run records and traces "
+        "(created if missing; restarting on the same directory "
+        "recovers interrupted runs)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port (0 = ephemeral; default 8765)",
+    )
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU; default min(4, CPUs))",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        help="rounds between embedded trace checkpoints (default 50)",
+    )
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

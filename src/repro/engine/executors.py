@@ -343,10 +343,18 @@ class PersistentWorkerPool:
     ) -> Optional[Tuple[int, bool, object]]:
         """Pop one completed ``(task_id, ok, value)`` (lowest id first),
         blocking up to ``timeout`` seconds; ``None`` when nothing can
-        complete (idle pool or timeout)."""
+        complete (idle pool or timeout).
+
+        ``timeout=0`` is a true non-blocking poll: it still runs one
+        service pass (dispatch queued tasks to freed workers, collect
+        finished results without waiting) before answering — a
+        zero-timeout caller that never serviced the pool would neither
+        observe completions nor keep the queue draining.
+        """
         # reprolint: ok[D2] liveness deadline only: recovery re-runs
         # pure tasks, results are timing-independent
         deadline = None if timeout is None else time.monotonic() + timeout
+        serviced = False
         while True:
             if self._results:
                 task_id = min(self._results)
@@ -361,8 +369,11 @@ class PersistentWorkerPool:
                 # re-runs pure tasks, results are timing-independent
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    return None
+                    if serviced:
+                        return None
+                    remaining = 0
             self._service(remaining)
+            serviced = True
 
     def run_all(self, tasks: Sequence[Tuple[Callable, tuple]]) -> list:
         """Barrier helper: run every ``(fn, args)`` task, return values

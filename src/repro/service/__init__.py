@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: HTTP API, run registry, live dashboard.
+
+This package turns the library into a product surface: submit a
+:class:`~repro.engine.protocols.Scenario` over HTTP, have it executed
+by :func:`repro.api.simulate` in a background worker process (the
+persistent pool behind :class:`~repro.analysis.orchestrator.
+SweepOrchestrator`), and read everything back — durable run records,
+round-by-round Server-Sent Events tailed from the flushed trace, and
+per-round SVG frames rendered server-side.
+
+Layering (transport-agnostic core, thin HTTP shell):
+
+* :mod:`repro.service.records` — :class:`RunRecord` / ``RunRegistry``:
+  one directory per run (``record.json`` + ``trace.jsonl``), atomic
+  writes, restart-safe.
+* :mod:`repro.service.runner` — ``execute_run``: the picklable worker
+  task; plain grid/FSYNC runs checkpoint and *resume* after a crash
+  (PR 7's ``resume_engine``), everything else restarts from scratch.
+* :mod:`repro.service.workers` — drains queued runs onto the shared
+  orchestrator pool; ``recover()`` requeues interrupted runs on boot.
+* :mod:`repro.service.app` — the HTTP-free application: a tiny router
+  plus JSON request/response types; every endpoint is a method here,
+  so tests (and a future ASGI adapter) skip sockets entirely.
+* :mod:`repro.service.sse` — SSE formatting and the per-run event
+  stream over :func:`repro.trace.tail.follow_rounds`.
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer``
+  adapter and the ``repro serve`` entry point.
+* :mod:`repro.service.dashboard` — the single-file HTML dashboard.
+
+Endpoint table, run-record schema and the SSE event format are
+documented in ``docs/service.md``.
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.records import RunRecord, RunRegistry
+from repro.service.server import ServiceServer, serve
+
+__all__ = [
+    "RunRecord",
+    "RunRegistry",
+    "ServiceApp",
+    "ServiceServer",
+    "serve",
+]

@@ -1,0 +1,172 @@
+"""The single-file HTML dashboard served at ``GET /``.
+
+Deliberately dependency-free on the client side too: one page of
+vanilla HTML/CSS/JS, ``fetch`` for the JSON API and the browser's
+native ``EventSource`` for the SSE round stream.  Frames are just
+``<img>`` tags pointed at ``/runs/<id>/frame.svg`` and re-fetched as
+round events arrive (throttled), so the server stays the single
+renderer and the page stays trivial.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro — gathering as a service</title>
+<style>
+ body { font-family: monospace; margin: 1.5rem; color: #222; }
+ h1 { font-size: 1.2rem; }
+ fieldset { border: 1px solid #999; margin-bottom: 1rem; }
+ table { border-collapse: collapse; margin-top: .5rem; }
+ th, td { border: 1px solid #bbb; padding: .2rem .6rem;
+          text-align: left; }
+ tr.sel { background: #eef; cursor: pointer; }
+ tbody tr { cursor: pointer; }
+ #live { display: flex; gap: 2rem; margin-top: 1rem; }
+ #frame img { border: 1px solid #999; max-width: 480px; }
+ #log { max-height: 14rem; overflow-y: auto; font-size: .8rem;
+        border: 1px solid #bbb; padding: .3rem; width: 24rem; }
+ .muted { color: #777; }
+</style>
+</head>
+<body>
+<h1>repro — gathering on a grid, as a service</h1>
+<fieldset>
+ <legend>submit a scenario</legend>
+ <label>family <select id="family">
+  <option>ring</option><option>line</option><option>blob</option>
+  <option>square</option><option>plus</option>
+ </select></label>
+ <label>n <input id="n" type="number" value="48" size="6"></label>
+ <label>seed <input id="seed" type="number" value="1" size="6">
+ </label>
+ <button id="submit">submit</button>
+ <span id="submitmsg" class="muted"></span>
+</fieldset>
+<div>
+ <b>runs</b> <button id="refresh">refresh</button>
+ <table id="runs"><thead><tr>
+  <th>id</th><th>status</th><th>family</th><th>n</th>
+  <th>rounds</th><th>gathered</th>
+ </tr></thead><tbody></tbody></table>
+</div>
+<div id="live">
+ <div id="frame"><img id="frameimg" alt="no frame yet"></div>
+ <div>
+  <div id="status" class="muted">select a run to stream it</div>
+  <div id="log"></div>
+ </div>
+</div>
+<script>
+"use strict";
+let source = null;
+let selected = null;
+let frameTimer = null;
+
+function el(id) { return document.getElementById(id); }
+
+function logLine(text) {
+  const div = document.createElement("div");
+  div.textContent = text;
+  el("log").prepend(div);
+  while (el("log").childNodes.length > 200) {
+    el("log").removeChild(el("log").lastChild);
+  }
+}
+
+async function refreshRuns() {
+  const res = await fetch("/runs");
+  const data = await res.json();
+  const tbody = el("runs").querySelector("tbody");
+  tbody.innerHTML = "";
+  for (const run of data.runs.slice().reverse()) {
+    const tr = document.createElement("tr");
+    const m = run.metrics || {};
+    const p = run.params || {};
+    const cells = [run.run_id, run.status, p.family || "-",
+                   p.n ?? "-", m.rounds ?? "-", m.gathered ?? "-"];
+    for (const value of cells) {
+      const td = document.createElement("td");
+      td.textContent = String(value);
+      tr.appendChild(td);
+    }
+    if (run.run_id === selected) tr.classList.add("sel");
+    tr.onclick = () => attach(run.run_id);
+    tbody.appendChild(tr);
+  }
+}
+
+function scheduleFrame(runId) {
+  if (frameTimer !== null) return;
+  frameTimer = setTimeout(() => {
+    frameTimer = null;
+    el("frameimg").src =
+      "/runs/" + runId + "/frame.svg?round=latest&t=" + Date.now();
+  }, 150);
+}
+
+function attach(runId) {
+  if (source !== null) source.close();
+  selected = runId;
+  el("status").textContent = runId + ": connecting\\u2026";
+  el("log").innerHTML = "";
+  el("frameimg").src = "/runs/" + runId + "/frame.svg";
+  source = new EventSource("/runs/" + runId + "/events");
+  source.addEventListener("status", (ev) => {
+    const data = JSON.parse(ev.data);
+    el("status").textContent = runId + ": " + data.status;
+  });
+  source.addEventListener("round", (ev) => {
+    const data = JSON.parse(ev.data);
+    el("status").textContent =
+      runId + ": round " + (data.round + 1) +
+      ", " + data.robots + " robots";
+    logLine("round " + (data.round + 1) +
+            ": " + data.robots + " robots");
+    scheduleFrame(runId);
+  });
+  source.addEventListener("end", (ev) => {
+    const data = JSON.parse(ev.data);
+    const m = data.metrics || {};
+    el("status").textContent =
+      runId + ": " + data.status +
+      (m.rounds !== undefined
+        ? " \\u2014 " + m.rounds + " rounds, gathered=" + m.gathered
+        : "");
+    logLine("end: " + data.status);
+    scheduleFrame(runId);
+    source.close();
+    refreshRuns();
+  });
+  refreshRuns();
+}
+
+el("submit").onclick = async () => {
+  const payload = {
+    family: el("family").value,
+    n: parseInt(el("n").value, 10),
+    seed: parseInt(el("seed").value, 10),
+  };
+  const res = await fetch("/runs", {
+    method: "POST",
+    headers: { "Content-Type": "application/json" },
+    body: JSON.stringify(payload),
+  });
+  const data = await res.json();
+  if (res.ok) {
+    el("submitmsg").textContent = "submitted " + data.id;
+    await refreshRuns();
+    attach(data.id);
+  } else {
+    el("submitmsg").textContent = "error: " + data.error;
+  }
+};
+
+el("refresh").onclick = refreshRuns;
+refreshRuns();
+</script>
+</body>
+</html>
+"""

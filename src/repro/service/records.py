@@ -1,0 +1,174 @@
+"""Durable run records: one directory per submitted simulation.
+
+Layout (mirroring :class:`~repro.analysis.orchestrator.SweepJobStore`,
+which pins the idiom of "a job store is a directory")::
+
+    <root>/runs/run-000001/record.json   status, params, metrics, ...
+    <root>/runs/run-000001/trace.jsonl   per-round flushed JSONL trace
+
+``record.json`` is written atomically (temp file + rename), so a
+reader never sees a torn record and a SIGKILLed server leaves every
+record either in its old or its new state.  Run ids are allocated by
+scanning the existing directories — restart-safe and collision-free
+without a counter file.
+
+Concurrency model: the server process creates records and flips
+``queued`` state; the worker process that executes a run owns every
+transition from ``running`` onward (so results survive the server
+dying mid-run).  Writers never share a transition, and each write
+replaces the whole file, so the in-process lock here only guards id
+allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Run lifecycle: ``queued`` (accepted, waiting for a worker) ->
+#: ``running`` -> ``done`` | ``failed``.  A server restart requeues
+#: ``queued``/``running`` runs (see ``ServiceWorkers.recover``).
+STATUSES = ("queued", "running", "done", "failed")
+
+_RUN_ID_RE = re.compile(r"^run-(\d{6,})$")
+
+
+@dataclass
+class RunRecord:
+    """One submitted simulation: parameters, lifecycle, outcome.
+
+    ``params`` is the validated submit payload (see
+    ``repro.service.app.validate_params``); ``metrics`` is the
+    ``RunResult.summary()`` dict once the run finished; ``terminal``
+    lists the terminal events (``gathered`` / ``budget_exhausted`` /
+    ``connectivity_lost``) with their data.  ``resumed_from_round`` is
+    set when a restarted server continued the run from a trace
+    checkpoint instead of from round zero.  Timestamps are wall-clock
+    epoch seconds — service metadata, never simulation input.
+    """
+
+    run_id: str
+    status: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    created_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    metrics: Optional[Dict[str, Any]] = None
+    terminal: Optional[List[Dict[str, Any]]] = None
+    error: Optional[str] = None
+    resumed_from_round: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class RunRegistry:
+    """The run store: create, read, and update :class:`RunRecord` s."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._lock = threading.Lock()
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.runs_dir / run_id
+
+    def record_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "record.json"
+
+    def trace_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "trace.jsonl"
+
+    # -- creation ------------------------------------------------------
+    def _next_id(self) -> str:
+        highest = 0
+        if self.runs_dir.is_dir():
+            for name in os.listdir(self.runs_dir):
+                match = _RUN_ID_RE.match(name)
+                if match:
+                    highest = max(highest, int(match.group(1)))
+        return f"run-{highest + 1:06d}"
+
+    def create(self, params: Dict[str, Any]) -> RunRecord:
+        """Allocate a run directory and write its ``queued`` record."""
+        with self._lock:
+            self.runs_dir.mkdir(parents=True, exist_ok=True)
+            run_id = self._next_id()
+            record = RunRecord(
+                run_id=run_id,
+                status="queued",
+                params=dict(params),
+                created_at=time.time(),
+            )
+            self.run_dir(run_id).mkdir()
+            self._write(record)
+        return record
+
+    # -- reading -------------------------------------------------------
+    def get(self, run_id: str) -> RunRecord:
+        path = self.record_path(run_id)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise KeyError(f"no such run: {run_id}") from None
+        return RunRecord.from_dict(data)
+
+    def run_ids(self) -> List[str]:
+        """All run ids, in allocation (= submission) order."""
+        if not self.runs_dir.is_dir():
+            return []
+        return sorted(
+            name
+            for name in os.listdir(self.runs_dir)
+            if _RUN_ID_RE.match(name)
+            and self.record_path(name).exists()
+        )
+
+    def records(self) -> List[RunRecord]:
+        return [self.get(run_id) for run_id in self.run_ids()]
+
+    def counts(self) -> Dict[str, int]:
+        """``{status: count}`` over every known run (zeros included)."""
+        out = {status: 0 for status in STATUSES}
+        for record in self.records():
+            out[record.status] = out.get(record.status, 0) + 1
+        return out
+
+    # -- updating ------------------------------------------------------
+    def update(self, run_id: str, **fields: Any) -> RunRecord:
+        """Read-modify-write of named record fields (atomic replace)."""
+        unknown = set(fields) - set(RunRecord.__dataclass_fields__)
+        if unknown:
+            raise TypeError(
+                f"unknown record fields: {sorted(unknown)}"
+            )
+        record = self.get(run_id)
+        for key, value in fields.items():
+            setattr(record, key, value)
+        if record.status not in STATUSES:
+            raise ValueError(
+                f"status must be one of {STATUSES}, "
+                f"got {record.status!r}"
+            )
+        self._write(record)
+        return record
+
+    def _write(self, record: RunRecord) -> None:
+        path = self.record_path(record.run_id)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record.to_dict()) + "\n")
+        tmp.rename(path)

@@ -1,0 +1,113 @@
+"""Server-Sent Events: formatting, stream accounting, per-run streams.
+
+SSE is the simplest push channel that works over plain stdlib HTTP —
+one long-lived ``text/event-stream`` response, events separated by
+blank lines, natively consumed by the browser ``EventSource`` API (the
+dashboard's only transport).  No websocket handshake, no framing
+protocol, trivially testable as an iterator of byte chunks.
+
+The per-run stream bridges the process boundary: workers flush one
+trace row per round to disk, :func:`repro.trace.tail.follow_rounds`
+turns the growing file into rows, and :func:`run_event_stream` wraps
+them into events::
+
+    event: status   {"id": ..., "status": ...}          (once, first)
+    event: round    {"round": r, "robots": k}           (per round)
+    event: end      {"id", "status", "metrics", ...}    (once, last)
+
+A stream attached to a finished run replays every round and ends; a
+stream attached to a live run follows it to the terminal record.
+Round events are emitted strictly in round order — the trace file is
+append-only and written by exactly one worker.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, Iterator
+
+from repro.service.records import RunRegistry
+from repro.trace.tail import follow_rounds
+
+
+def format_event(name: str, data: Dict[str, Any]) -> bytes:
+    """One wire-format SSE event (named, JSON data, blank-line end)."""
+    return (
+        f"event: {name}\ndata: {json.dumps(data)}\n\n".encode("utf-8")
+    )
+
+
+class StreamHub:
+    """Counts live/total SSE streams (the ``/metrics`` endpoint)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active = 0
+        self._opened = 0
+
+    def opened(self) -> None:
+        with self._lock:
+            self._active += 1
+            self._opened += 1
+
+    def closed(self) -> None:
+        with self._lock:
+            self._active -= 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "streams_active": self._active,
+                "streams_total": self._opened,
+            }
+
+
+def run_event_stream(
+    registry: RunRegistry,
+    run_id: str,
+    hub: StreamHub,
+    *,
+    poll_interval: float = 0.05,
+    start_round: int = 0,
+) -> Iterator[bytes]:
+    """The SSE byte stream for one run (see the module docstring).
+
+    ``start_round`` lets a re-connecting client skip rounds it already
+    saw.  The stream re-reads the record between polls and terminates
+    once the run is ``done``/``failed`` and the trace is drained, so
+    it never outlives the run it narrates.
+    """
+    hub.opened()
+    try:
+        record = registry.get(run_id)
+        yield format_event(
+            "status", {"id": run_id, "status": record.status}
+        )
+
+        def finished() -> bool:
+            return registry.get(run_id).status in ("done", "failed")
+
+        for row in follow_rounds(
+            str(registry.trace_path(run_id)),
+            poll_interval=poll_interval,
+            stop=finished,
+            start_round=start_round,
+        ):
+            yield format_event(
+                "round",
+                {"round": row.round_index, "robots": len(row.cells)},
+            )
+        record = registry.get(run_id)
+        yield format_event(
+            "end",
+            {
+                "id": run_id,
+                "status": record.status,
+                "metrics": record.metrics,
+                "terminal": record.terminal,
+                "error": record.error,
+            },
+        )
+    finally:
+        hub.closed()

@@ -1,0 +1,204 @@
+"""Background execution of service runs over the orchestrator pool.
+
+:class:`ServiceWorkers` is the glue between the HTTP layer and the
+compute layer: ``enqueue()`` dispatches a registered run onto a
+:class:`~repro.analysis.orchestrator.SweepOrchestrator` (the same
+persistent :class:`~repro.engine.executors.PersistentWorkerPool` the
+sweep machinery uses — workers survive across runs, a SIGKILLed worker
+is respawned and its run requeued), and a small poller thread drains
+completions.
+
+The worker task (:func:`repro.service.runner.execute_run`) writes its
+own record transitions, so the poller's only real job is the failure
+edge the worker could not record itself — e.g. a crash-looped task
+whose process died before the ``except`` path ran.
+
+``recover()`` implements restart-the-server semantics: every run the
+registry still shows as ``queued`` or ``running`` is re-dispatched;
+checkpointed grid runs then *resume* from their trace instead of
+restarting (see :mod:`repro.service.runner`).
+
+``inline=True`` executes runs synchronously inside ``enqueue()`` on
+the calling thread — no pool, no poller.  It exists for tests and for
+the smallest deployments; the HTTP surface is identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.orchestrator import SweepOrchestrator
+from repro.service.records import RunRegistry
+from repro.service.runner import execute_run
+
+
+class ServiceWorkers:
+    """Dispatch registered runs to worker processes; track outcomes."""
+
+    def __init__(
+        self,
+        registry: RunRegistry,
+        *,
+        workers: Optional[int] = None,
+        orchestrator: Optional[SweepOrchestrator] = None,
+        checkpoint_every: int = 50,
+        poll_interval: float = 0.05,
+        inline: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.checkpoint_every = checkpoint_every
+        self.inline = inline
+        self._poll_interval = poll_interval
+        self._own_orchestrator = orchestrator is None and not inline
+        self._orch = orchestrator
+        if self._own_orchestrator:
+            self._orch = SweepOrchestrator(workers)
+        self._workers = workers
+        # The orchestrator is not thread-safe; submissions come from
+        # HTTP handler threads while the poller drains completions, so
+        # every orchestrator touch happens under this lock.
+        self._lock = threading.Lock()
+        self._run_of_job: Dict[str, str] = {}
+        self._dispatched: int = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Start the completion poller (no-op in inline mode)."""
+        if self.inline or self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._poll_loop,
+            name="service-workers",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop polling; close the pool if this instance owns it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._own_orchestrator and self._orch is not None:
+            self._orch.close()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def worker_count(self) -> int:
+        if self.inline or self._orch is None:
+            return 0
+        return self._orch._workers
+
+    def pending(self) -> int:
+        """Dispatched runs whose outcome has not been routed yet."""
+        with self._lock:
+            if self._orch is None:
+                return 0
+            return sum(
+                1
+                for job_id in self._run_of_job
+                if self._orch.outcome(job_id) is None
+            )
+
+    def dispatched(self) -> int:
+        return self._dispatched
+
+    # -- dispatch ------------------------------------------------------
+    def enqueue(self, run_id: str) -> None:
+        """Hand one registered run to the execution backend."""
+        self._dispatched += 1
+        if self.inline:
+            try:
+                execute_run(
+                    str(self.registry.root),
+                    run_id,
+                    self.checkpoint_every,
+                )
+            except Exception:
+                # execute_run already recorded the failure; inline
+                # callers (tests, tiny deployments) want the submit
+                # endpoint to survive a failing run just like the
+                # pooled path does.
+                pass
+            return
+        with self._lock:
+            job_id = self._orch.submit_task(
+                execute_run,
+                (
+                    str(self.registry.root),
+                    run_id,
+                    self.checkpoint_every,
+                ),
+            )
+            self._run_of_job[job_id] = run_id
+
+    def recover(self) -> List[str]:
+        """Requeue every run interrupted before completion.
+
+        Called once on server start, *before* accepting traffic: runs
+        still marked ``queued``/``running`` on disk were orphaned by a
+        previous process.  Re-dispatching them restarts non-resumable
+        runs from round zero and resumes checkpointed grid runs from
+        their last trace checkpoint.  Returns the requeued ids.
+        """
+        requeued: List[str] = []
+        for record in self.registry.records():
+            if record.status in ("queued", "running"):
+                self.enqueue(record.run_id)
+                requeued.append(record.run_id)
+        return requeued
+
+    # -- completion routing --------------------------------------------
+    def _poll_loop(self) -> None:
+        while not self._stop.is_set():
+            self.poll_once()
+            self._stop.wait(self._poll_interval)
+
+    def poll_once(self) -> None:
+        """Drain pool completions; record worker-level failures.
+
+        Normal outcomes need no action (the worker wrote the record);
+        a failed job whose record never reached a terminal state is
+        the pool-level death case — record it here so the run does not
+        dangle forever.
+        """
+        if self.inline or self._orch is None:
+            return
+        with self._lock:
+            statuses = self._orch.poll()
+            finished = [
+                job_id
+                for job_id in list(self._run_of_job)
+                if statuses.get(job_id) in ("done", "failed")
+            ]
+            routed = {
+                job_id: (
+                    self._run_of_job.pop(job_id),
+                    self._orch.outcome(job_id),
+                )
+                for job_id in finished
+            }
+        for job_id, (run_id, outcome) in sorted(routed.items()):
+            if outcome is None:
+                continue
+            ok, value = outcome
+            if ok:
+                continue
+            record = self.registry.get(run_id)
+            if record.status in ("done", "failed"):
+                continue
+            message = (
+                "".join(str(a) for a in value.args)
+                if isinstance(value, BaseException)
+                else str(value)
+            )
+            self.registry.update(
+                run_id,
+                status="failed",
+                finished_at=time.time(),
+                error=message or type(value).__name__,
+            )

@@ -106,6 +106,40 @@ def swarm_to_svg(
     return canvas
 
 
+def frame_svg(
+    cells: Iterable[Cell],
+    prev_cells: Iterable[Cell] | None = None,
+    *,
+    cell_px: float = 10.0,
+    label: str | None = None,
+    moved_fill: str = "#c0392b",
+) -> SvgCanvas:
+    """One simulation frame for the service dashboard.
+
+    Renders the current swarm with the cells *newly occupied* since
+    the previous round highlighted.  Edge cases the dashboard hits are
+    all well-defined: ``prev_cells=None`` is a round-0 frame (no move
+    information yet — no highlights), a terminal gathered state is
+    just a tiny swarm, and an empty diff (no robot entered a new cell
+    in the window) renders with no highlights at all.  An empty
+    *current* cell set still raises — there is no frame to draw.
+    """
+    current = set(cells)
+    if not current:
+        raise ValueError("cannot render an empty frame")
+    moved = (
+        current - set(prev_cells) if prev_cells is not None else set()
+    )
+    canvas = swarm_to_svg(
+        current,
+        cell_px=cell_px,
+        highlights={cell: moved_fill for cell in sorted(moved)},
+    )
+    if label:
+        canvas.text(3.0, 9.0, label, size=8.0, fill="#555")
+    return canvas
+
+
 def line_chart(
     series: Mapping[str, Sequence[Tuple[float, float]]],
     *,

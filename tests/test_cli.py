@@ -28,6 +28,26 @@ class TestParser:
         args = build_parser().parse_args(["gather"])
         assert args.strategy == "grid" and args.scheduler is None
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "/tmp/svc-data"])
+        assert args.data_dir == "/tmp/svc-data"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.jobs is None
+        assert args.checkpoint_every == 50
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "d", "--port", "0", "-j", "2",
+             "--checkpoint-every", "10"]
+        )
+        assert args.port == 0 and args.jobs == 2
+        assert args.checkpoint_every == 10
+
+    def test_serve_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestCommands:
     def test_gather_exit_code(self, capsys):

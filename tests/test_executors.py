@@ -81,6 +81,27 @@ class TestPersistentWorkerPool:
             assert pool.worker_count == 2
             assert pool.worker_pids() != pids
 
+    def test_zero_timeout_poll_drains_the_queue(self):
+        # A pure-polling consumer (the service's completion poller)
+        # calls next_completed(timeout=0) in a loop.  That poll must
+        # still service the pool: collect finished results AND hand
+        # queued tasks to freed workers — with 1 worker and 3 tasks,
+        # tasks 2 and 3 only ever run via this path.
+        with PersistentWorkerPool(1) as pool:
+            ids = [pool.submit(_square, (i,)) for i in range(3)]
+            got = {}
+            deadline = time.monotonic() + 30
+            while len(got) < len(ids):
+                assert time.monotonic() < deadline, "queue stalled"
+                item = pool.next_completed(timeout=0)
+                if item is None:
+                    time.sleep(0.01)
+                    continue
+                task_id, ok, value = item
+                assert ok
+                got[task_id] = value
+        assert [got[i] for i in ids] == [0, 1, 4]
+
     def test_poison_task_gives_up_after_max_retries(self):
         with PersistentWorkerPool(1, max_retries=2) as pool:
             with pytest.raises(WorkerCrashLoop, match="killed 3"):

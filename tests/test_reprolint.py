@@ -26,6 +26,8 @@ from tools.reprolint.engine import (
 from tools.reprolint.rules import default_rules
 from tools.reprolint.rules.asserts import BareAssertRule
 from tools.reprolint.rules.determinism import (
+    ORDER_SENSITIVE_PREFIXES,
+    WALL_CLOCK_ALLOWED_PREFIXES,
     IdOrderingWallClockRule,
     UnorderedIterationRule,
     UnseededRandomRule,
@@ -178,6 +180,74 @@ class TestD2WallClockIdOrder:
             """,
         )
         assert findings == []
+
+
+class TestD2ServiceWallClockAllowlist:
+    """The per-path allowlist for the serving layer's timestamps.
+
+    The production D2 instance widens to ``src/repro/service/`` but
+    exempts exactly that layer's wall-clock reads; these tests pin
+    both halves of the boundary so a careless config edit (dropping
+    core/ from the prefixes, or allowlisting a simulation layer)
+    fails tier-1.
+    """
+
+    @staticmethod
+    def production_rule() -> IdOrderingWallClockRule:
+        for rule in default_rules():
+            if isinstance(rule, IdOrderingWallClockRule):
+                return rule
+        raise AssertionError("D2 missing from default_rules()")
+
+    def test_service_wall_clock_is_allowed(self):
+        findings = run_file_rule(
+            self.production_rule(),
+            "src/repro/service/example.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert findings == []
+
+    def test_service_id_ordering_still_fires(self):
+        findings = run_file_rule(
+            self.production_rule(),
+            "src/repro/service/example.py",
+            "def order(xs):\n    return sorted(xs, key=id)\n",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "D2"
+
+    def test_core_engine_grid_remain_fully_covered(self):
+        rule = self.production_rule()
+        clock = """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        for prefix in (
+            "src/repro/core/",
+            "src/repro/engine/",
+            "src/repro/grid/",
+        ):
+            findings = run_file_rule(rule, prefix + "example.py", clock)
+            assert len(findings) == 1, prefix
+            assert findings[0].rule == "D2"
+
+    def test_allowlist_is_exactly_the_service_layer(self):
+        rule = self.production_rule()
+        assert rule.wall_clock_allow == ("src/repro/service/",)
+        assert rule.wall_clock_allow == WALL_CLOCK_ALLOWED_PREFIXES
+        for prefix in ORDER_SENSITIVE_PREFIXES:
+            assert prefix in rule.prefixes
+        assert not any(
+            prefix.startswith(rule.wall_clock_allow)
+            for prefix in ORDER_SENSITIVE_PREFIXES
+        )
 
 
 # ----------------------------------------------------------------------

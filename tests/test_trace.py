@@ -1,6 +1,7 @@
-"""Unit tests for trace recording and deterministic replay."""
+"""Unit tests for trace recording, deterministic replay, and tailing."""
 
 import io
+import threading
 
 from repro.core.algorithm import GatherOnGrid
 from repro.engine.scheduler import FsyncEngine
@@ -8,6 +9,7 @@ from repro.grid.occupancy import SwarmState
 from repro.swarms.generators import ring
 from repro.trace.recorder import TraceRecorder, load_trace
 from repro.trace.replay import replay, verify_trace
+from repro.trace.tail import follow_rounds
 
 
 def record(cells, rounds):
@@ -59,3 +61,77 @@ class TestReplay:
     def test_replay_stops_at_gathering(self):
         states = replay([(0, 0), (1, 0), (2, 0)], rounds=50)
         assert len(states) <= 3
+
+
+class TestFollowRounds:
+    """Live tailing across the worker/server process boundary."""
+
+    def test_follows_a_growing_file(self, tmp_path):
+        # A writer thread appends rows with per-row flushes while the
+        # follower reads; the follower must see every round, in order,
+        # including rows written *after* stop() first returns False.
+        path = tmp_path / "trace.jsonl"
+        done = threading.Event()
+        payload = record(ring(16), 8)
+        expected = [
+            r.round_index for r in load_trace(payload.splitlines())
+        ]
+        assert len(expected) >= 5  # meaningful follow window
+
+        def write_slowly():
+            with path.open("w") as fh:
+                for line in payload.splitlines():
+                    fh.write(line + "\n")
+                    fh.flush()
+            done.set()
+
+        writer = threading.Thread(target=write_slowly)
+        writer.start()
+        rows = list(
+            follow_rounds(
+                str(path), poll_interval=0.005, stop=done.is_set
+            )
+        )
+        writer.join()
+        assert [r.round_index for r in rows] == expected
+
+    def test_waits_for_missing_file_and_start_round(self, tmp_path):
+        path = tmp_path / "late.jsonl"
+        done = threading.Event()
+        payload = record(ring(16), 8)
+        expected = [
+            r.round_index
+            for r in load_trace(payload.splitlines())
+            if r.round_index >= 2
+        ]
+        assert expected  # the tail must be non-empty to test skipping
+
+        def create_late():
+            path.write_text(payload)
+            done.set()
+
+        writer = threading.Thread(target=create_late)
+        writer.start()
+        rows = list(
+            follow_rounds(
+                str(path),
+                poll_interval=0.005,
+                stop=done.is_set,
+                start_round=2,
+            )
+        )
+        writer.join()
+        assert [r.round_index for r in rows] == expected
+
+    def test_partial_lines_are_not_parsed(self, tmp_path):
+        # Only newline-terminated lines count; a torn tail line is
+        # buffered until its newline arrives (here: never).
+        path = tmp_path / "torn.jsonl"
+        full = record(ring(8), 3)
+        path.write_text(full[: len(full) - 10])  # cut mid-row
+        rows = list(
+            follow_rounds(
+                str(path), poll_interval=0.005, stop=lambda: True
+            )
+        )
+        assert [r.round_index for r in rows] == [0, 1]

@@ -7,7 +7,7 @@ from repro.swarms.generators import ring, solid_rectangle
 from repro.viz.ascii_art import render, render_with_marks, side_by_side
 from repro.viz.animate import FrameRecorder
 from repro.viz.figures import FIGURES, figure
-from repro.viz.svg import SvgCanvas, line_chart, swarm_to_svg
+from repro.viz.svg import SvgCanvas, frame_svg, line_chart, swarm_to_svg
 
 
 class TestAscii:
@@ -75,6 +75,42 @@ class TestSvg:
         p = tmp_path / "out.svg"
         swarm_to_svg(SwarmState([(0, 0)])).save(str(p))
         assert p.read_text().startswith("<svg")
+
+
+class TestFrameSvg:
+    """The dashboard edge cases: round-0, terminal, empty diff."""
+
+    def test_round_zero_has_no_highlights(self):
+        # prev_cells=None is the initial frame; nothing has moved yet.
+        s = frame_svg(ring(5), label="round 0 (initial)").to_string()
+        assert "#c0392b" not in s
+        assert "round 0 (initial)" in s
+        assert s.count("<rect") == len(ring(5)) + 1  # + background
+
+    def test_terminal_gathered_frame_renders(self):
+        # A gathered swarm is a 2x2 block (or smaller); still a frame.
+        terminal = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        prev = [(0, 0), (0, 1), (1, 0), (2, 1)]
+        s = frame_svg(terminal, prev, label="round 9 (4 robots)")
+        out = s.to_string()
+        assert out.count('fill="#c0392b"') == 1  # only (1, 1) is new
+        assert "round 9 (4 robots)" in out
+
+    def test_empty_diff_window_has_no_highlights(self):
+        cells = ring(4)
+        s = frame_svg(cells, cells).to_string()
+        assert "#c0392b" not in s
+        assert s.count("<rect") == len(ring(4)) + 1
+
+    def test_empty_current_frame_raises(self):
+        with pytest.raises(ValueError):
+            frame_svg([])
+
+    def test_custom_moved_fill(self):
+        out = frame_svg(
+            [(0, 0), (1, 0)], [(0, 0)], moved_fill="#00f"
+        ).to_string()
+        assert out.count('fill="#00f"') == 1
 
 
 class TestFrameRecorder:

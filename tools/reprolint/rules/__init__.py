@@ -12,6 +12,8 @@ from typing import List
 
 from tools.reprolint.rules.asserts import BareAssertRule
 from tools.reprolint.rules.determinism import (
+    ORDER_SENSITIVE_PREFIXES,
+    WALL_CLOCK_ALLOWED_PREFIXES,
     IdOrderingWallClockRule,
     UnorderedIterationRule,
     UnseededRandomRule,
@@ -28,7 +30,16 @@ def default_rules() -> List[object]:
     """The production rule set, in catalogue order."""
     return [
         UnseededRandomRule(),
-        IdOrderingWallClockRule(),
+        # D2 widens to the service layer so its id()-ordering ban
+        # applies there too, but wall-clock reads are allowlisted for
+        # exactly that layer (run-record timestamps).
+        IdOrderingWallClockRule(
+            prefixes=(
+                *ORDER_SENSITIVE_PREFIXES,
+                *WALL_CLOCK_ALLOWED_PREFIXES,
+            ),
+            wall_clock_allow=WALL_CLOCK_ALLOWED_PREFIXES,
+        ),
         UnorderedIterationRule(),
         SharedStatePurityRule(),
         LegacyEntryPointRule(),

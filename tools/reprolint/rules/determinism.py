@@ -22,6 +22,16 @@ ORDER_SENSITIVE_PREFIXES: Tuple[str, ...] = (
     "src/repro/grid/",
 )
 
+#: Paths whose *wall-clock* reads are legitimate (D2 still flags their
+#: ``id()``-keyed ordering).  The serving layer stamps run records with
+#: submission/start/finish times — service metadata that never feeds a
+#: simulation decision; an explicit allowlist here beats inline
+#: suppressions on every ``time.time()`` because the boundary is
+#: auditable in one place (and pinned by ``tests/test_reprolint.py``).
+WALL_CLOCK_ALLOWED_PREFIXES: Tuple[str, ...] = (
+    "src/repro/service/",
+)
+
 
 def _attr_base(node: ast.AST) -> Optional[str]:
     """Root ``Name.id`` of an ``a.b.c`` / ``a[k].b`` chain, else None."""
@@ -179,23 +189,40 @@ class IdOrderingWallClockRule(FileRule):
     — both are invisible to seeded replay.  (Using ``id()`` for
     *identity* — set membership, dict keys that are never ordered — is
     fine and pervasive in the ring code; only ordering is flagged.)
+
+    ``wall_clock_allow`` names path prefixes whose wall-clock reads
+    are exempt (the serving layer's run-record timestamps); ``id()``
+    ordering stays flagged there — allocation-address ordering is
+    never legitimate.
     """
 
     rule_id = "D2"
     title = "wall-clock or id()-keyed ordering"
 
     def __init__(
-        self, prefixes: Sequence[str] = ORDER_SENSITIVE_PREFIXES
+        self,
+        prefixes: Sequence[str] = ORDER_SENSITIVE_PREFIXES,
+        *,
+        wall_clock_allow: Sequence[str] = (),
     ) -> None:
         self.prefixes = tuple(prefixes)
+        self.wall_clock_allow = tuple(wall_clock_allow)
 
     def applies(self, rel: str) -> bool:
         return rel.startswith(self.prefixes)
 
+    def _wall_clock_allowed(self, rel: str) -> bool:
+        return bool(self.wall_clock_allow) and rel.startswith(
+            self.wall_clock_allow
+        )
+
     def check_file(self, sf: SourceFile) -> List[Finding]:
         out: List[Finding] = []
+        clock_ok = self._wall_clock_allowed(sf.rel)
         for node in ast.walk(sf.tree):
             if isinstance(node, ast.Attribute):
+                if clock_ok:
+                    continue
                 base = node.value
                 if (
                     isinstance(base, ast.Name)
