@@ -286,14 +286,18 @@ class _SsyncSchedulerBase:
     Options (``simulate(..., scheduler="ssync", <option>=...)``):
 
     ``activation``
-        Policy key: ``"uniform"`` (default), ``"round_robin"``, or
-        ``"adversarial"`` — see
+        Policy key: ``"uniform"`` (default), ``"round_robin"``,
+        ``"adversarial"``, or ``"scripted"`` — see
         :data:`repro.engine.ssync_scheduler.ACTIVATION_POLICIES`.
     ``activation_p``
         Per-robot activation probability for ``uniform`` (default 0.5;
         1.0 reproduces FSYNC trajectories exactly when faults are off).
     ``rr_k``
         Class count for ``round_robin`` (default 3).
+    ``schedule``
+        Per-round token lists for ``scripted`` (required by, and only
+        valid with, that policy) — the nondeterminism explorer's
+        witness-replay surface (:mod:`repro.explore`).
     ``k_fairness``
         Fairness bound: every (fault-free) robot is activated at least
         once in any ``k`` consecutive rounds (default 8).
@@ -311,6 +315,7 @@ class _SsyncSchedulerBase:
         "activation",
         "activation_p",
         "rr_k",
+        "schedule",
         "k_fairness",
         "sleep_rate",
         "crash_rate",
@@ -324,6 +329,7 @@ class _SsyncSchedulerBase:
         name = opts.pop("activation", "uniform")
         p = opts.pop("activation_p", None)
         rr_k = opts.pop("rr_k", None)
+        schedule = opts.pop("schedule", None)
         k_fairness = opts.pop("k_fairness", 8)
         sleep_rate = opts.pop("sleep_rate", self.default_sleep_rate)
         crash_rate = opts.pop("crash_rate", self.default_crash_rate)
@@ -339,12 +345,18 @@ class _SsyncSchedulerBase:
                 f"rr_k applies only to the 'round_robin' policy, "
                 f"not {name!r}"
             )
+        if schedule is not None and name != "scripted":
+            raise ValueError(
+                f"schedule applies only to the 'scripted' policy, "
+                f"not {name!r}"
+            )
         seed = ctx.seed if ctx.seed is not None else 0
         policy = make_policy(
             name,
             p=0.5 if p is None else p,
             k=3 if rr_k is None else rr_k,
             seed=seed ^ _POLICY_SEED_SALT,
+            schedule=schedule,
         )
         injector = FaultInjector(
             sleep_rate, crash_rate, seed=seed ^ _FAULT_SEED_SALT

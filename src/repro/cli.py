@@ -25,6 +25,12 @@ Commands
              report progress and results from any process
 ``serve``    simulation-as-a-service: HTTP API + live dashboard over a
              durable run registry (see docs/service.md)
+``explore``  branch SSYNC activation subsets into a deduped state DAG,
+             extract replayable connectivity witnesses, export DOT/HTML
+             (see docs/explorer.md)
+``certify``  exhaustive small-n certification sweep over all fixed
+             polyominoes: machine-checked FSYNC bound tables plus the
+             verified SSYNC counterexample
 """
 
 from __future__ import annotations
@@ -176,7 +182,10 @@ _USAGE_ERRORS = (KeyError, ValueError, TypeError, ExecutorUnavailable)
 
 def _fail(exc: BaseException) -> int:
     """Clean CLI error for invalid strategy/family/scheduler combos."""
-    msg = exc.args[0] if exc.args else str(exc)
+    if isinstance(exc, OSError):
+        msg = str(exc)  # args[0] alone would print the bare errno
+    else:
+        msg = exc.args[0] if exc.args else str(exc)
     print(f"error: {msg}", file=sys.stderr)
     return 2
 
@@ -669,6 +678,151 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import (
+        build_witness,
+        explore,
+        load_witness,
+        save_witness,
+        verify_witness,
+    )
+    from repro.swarms.generators import family
+    from repro.viz.stategraph import dag_to_dot, dag_to_html
+
+    try:
+        if args.replay is not None:
+            with open(args.replay) as fh:
+                witness = load_witness(fh)
+            ok = verify_witness(witness, cfg=_config(args))
+            print(
+                f"witness n={len(witness.initial)} "
+                f"rounds={witness.rounds} terminal={witness.terminal} "
+                f"fairness_k={witness.fairness_k}: "
+                f"{'replays bit-identically' if ok else 'REPLAY MISMATCH'}"
+            )
+            return 0 if ok else 1
+        cells = family(args.family, args.n, seed=args.seed)
+        dag = explore(
+            cells,
+            cfg=_config(args),
+            mode=args.mode,
+            max_nodes=args.max_nodes,
+            max_depth=args.max_depth,
+            beam_width=args.beam_width,
+            branch_samples=args.branch_samples,
+            include_stall=not args.no_stall,
+            seed=args.seed if args.seed is not None else 0,
+        )
+    except (*_USAGE_ERRORS, OSError) as exc:
+        return _fail(exc)
+    counts = dag.counts()
+    broken = dag.first("disconnected")
+    witness = None
+    if broken is not None:
+        witness = build_witness(dag, target=broken.key)
+    if args.witness is not None:
+        if witness is not None:
+            with open(args.witness, "w") as fh:
+                save_witness(witness, fh)
+        else:
+            print(
+                "note: no disconnected state found; no witness written",
+                file=sys.stderr,
+            )
+    if args.dot is not None:
+        with open(args.dot, "w") as fh:
+            fh.write(dag_to_dot(dag))
+    if args.html is not None:
+        with open(args.html, "w") as fh:
+            fh.write(dag_to_html(dag, title=f"{args.family} n={args.n}"))
+    if args.json:
+        payload = {
+            "family": args.family,
+            "n": args.n,
+            "mode": dag.mode,
+            "complete": dag.complete,
+            "counts": counts,
+            "max_depth": dag.max_depth_reached,
+            "first_violation_round": (
+                witness.violation_round if witness is not None else None
+            ),
+            "witness_fairness_k": (
+                witness.fairness_k if witness is not None else None
+            ),
+            "witness_verified": (
+                verify_witness(witness, cfg=_config(args))
+                if witness is not None
+                else None
+            ),
+        }
+        print(json.dumps(payload))
+    else:
+        closure = "complete closure" if dag.complete else "truncated"
+        print(
+            f"{args.family}(n={args.n}) {dag.mode}: "
+            f"{counts['total']} states, {counts['edges']} edges "
+            f"({closure}); gathered={counts.get('gathered', 0)} "
+            f"disconnected={counts.get('disconnected', 0)} "
+            f"open={counts.get('open', 0)}"
+        )
+        if witness is not None:
+            print(
+                f"earliest connectivity break: round "
+                f"{witness.violation_round}, schedule "
+                f"{[list(s) for s in witness.schedule]}, "
+                f"k-fairness boundary {witness.fairness_k}"
+            )
+        elif dag.complete:
+            print("no schedule disconnects this swarm (certified)")
+    return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    from repro.analysis.certification import (
+        format_certification,
+        run_certification,
+    )
+    from repro.explore import save_witness
+
+    try:
+        report = run_certification(
+            max_n=args.max_n,
+            min_n=args.min_n,
+            max_nodes=args.max_nodes,
+        )
+    except _USAGE_ERRORS as exc:
+        return _fail(exc)
+    witness = report["witness"]
+    if args.witness is not None and witness is not None:
+        with open(args.witness, "w") as fh:
+            save_witness(witness, fh)
+    if args.json:
+        payload = {
+            "min_n": report["min_n"],
+            "max_n": report["max_n"],
+            "overall_ok": report["overall_ok"],
+            "rows": report["rows"],
+        }
+        if witness is not None:
+            payload["witness"] = {
+                "initial": [list(c) for c in witness.initial],
+                "schedule": [list(s) for s in witness.schedule],
+                "fairness_k": witness.fairness_k,
+                "violation_round": witness.violation_round,
+            }
+        print(json.dumps(payload))
+    else:
+        print(format_certification(report))
+        if witness is not None:
+            print(
+                f"example witness: initial "
+                f"{[list(c) for c in witness.initial]}, schedule "
+                f"{[list(s) for s in witness.schedule]}, "
+                f"k-fairness boundary {witness.fairness_k}"
+            )
+    return 0 if report["overall_ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -838,6 +992,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="rounds between embedded trace checkpoints (default 50)",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "explore",
+        help="branch SSYNC activations into a deduped state DAG",
+    )
+    p.add_argument(
+        "--family",
+        default="ring",
+        choices=sorted(FAMILIES),
+        help="swarm family (grid generators only; default: ring)",
+    )
+    p.add_argument(
+        "-n", type=int, default=5, help="target robot count (default 5)"
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for stochastic families and beam-mode subset sampling",
+    )
+    p.add_argument(
+        "--mode",
+        default="exhaustive",
+        choices=["exhaustive", "beam"],
+        help="exhaustive = full closure (certifiable); beam = guided, "
+        "bounded search for larger swarms",
+    )
+    p.add_argument(
+        "--max-nodes",
+        type=int,
+        default=200_000,
+        help="node budget before the search is marked truncated",
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=None, help="depth (round) budget"
+    )
+    p.add_argument(
+        "--beam-width",
+        type=int,
+        default=64,
+        help="beam mode: nodes kept per depth (default 64)",
+    )
+    p.add_argument(
+        "--branch-samples",
+        type=int,
+        default=24,
+        help="beam mode: activation subsets sampled per node (default 24)",
+    )
+    p.add_argument(
+        "--no-stall",
+        action="store_true",
+        help="drop the empty activation set from the branch lattice",
+    )
+    p.add_argument(
+        "--interval", type=int, default=None, help="run start interval L"
+    )
+    p.add_argument(
+        "--witness",
+        default=None,
+        metavar="PATH",
+        help="write the earliest connectivity witness as JSONL",
+    )
+    p.add_argument(
+        "--dot",
+        default=None,
+        metavar="PATH",
+        help="export the DAG as Graphviz DOT",
+    )
+    p.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="export the DAG as a standalone HTML view",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="verify a saved witness replays bit-identically instead "
+        "of exploring",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "certify",
+        help="exhaustive small-n certification sweep (bound tables)",
+    )
+    p.add_argument(
+        "--min-n", type=int, default=3, help="smallest size (default 3)"
+    )
+    p.add_argument(
+        "--max-n", type=int, default=6, help="largest size (default 6)"
+    )
+    p.add_argument(
+        "--max-nodes",
+        type=int,
+        default=200_000,
+        help="per-shape node budget (a truncated shape fails the sweep)",
+    )
+    p.add_argument(
+        "--witness",
+        default=None,
+        metavar="PATH",
+        help="write the headline connectivity witness as JSONL",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable rows"
+    )
+    p.set_defaults(fn=cmd_certify)
     return parser
 
 

@@ -16,9 +16,11 @@ This module is the engine layer of that model (the registry entries
 * activation policies (:data:`ACTIVATION_POLICIES`) — ``uniform``
   (independent coin with probability ``p`` per robot-round),
   ``round_robin`` (the roster split into ``k`` classes, one class per
-  round) and ``adversarial`` ("starve the runners": refuse to activate
+  round), ``adversarial`` ("starve the runners": refuse to activate
   the robots currently carrying the algorithm's progress for as long as
-  the fairness bound allows);
+  the fairness bound allows) and ``scripted`` (an explicit per-round
+  token script — how the nondeterminism explorer's witness schedules
+  replay, :mod:`repro.explore`);
 * :class:`ActivationSchedule` — policy + k-fairness enforcement + fault
   injection (:class:`repro.engine.faults.FaultInjector`), tracking
   per-robot activation streaks and crash state across token renames
@@ -155,17 +157,61 @@ class AdversarialActivation:
         return active if active else set(alive)
 
 
+class ScriptedActivation:
+    """An explicit per-round activation script over robot tokens.
+
+    ``schedule[r]`` is the token set to activate in round ``r``; rounds
+    past the script's end activate everyone (an FSYNC tail, so a replay
+    that outlives its script degrades to the safe model instead of
+    stalling).  Tokens of robots that merged away are ignored — the
+    schedule keeps intersecting the live roster exactly like every
+    other policy's selection.
+
+    This is how the nondeterminism explorer's witness schedules
+    (:mod:`repro.explore`) replay through the stock engine: the
+    explorer emits the per-round token sets it branched on, and this
+    policy feeds them back verbatim.  Deterministic; the seed is
+    accepted for registry uniformity and unused.
+    """
+
+    key = "scripted"
+
+    def __init__(self, schedule: Sequence = (), seed: int = 0) -> None:
+        self.rounds: List[FrozenSet[int]] = [
+            frozenset(int(t) for t in entry) for entry in schedule
+        ]
+
+    def select(
+        self,
+        round_index: int,
+        alive: Sequence[Any],
+        hints: FrozenSet[Any],
+    ) -> Set[Any]:
+        if round_index < len(self.rounds):
+            return set(self.rounds[round_index])
+        return set(alive)
+
+
 ACTIVATION_POLICIES: Dict[str, type] = {
     UniformActivation.key: UniformActivation,
     RoundRobinActivation.key: RoundRobinActivation,
     AdversarialActivation.key: AdversarialActivation,
+    ScriptedActivation.key: ScriptedActivation,
 }
 
 
-def make_policy(name: str, *, p: float = 0.5, k: int = 3, seed: int = 0):
+def make_policy(
+    name: str,
+    *,
+    p: float = 0.5,
+    k: int = 3,
+    seed: int = 0,
+    schedule: Optional[Sequence] = None,
+):
     """Build an activation policy from its registry key.
 
-    ``p`` parameterizes ``uniform``, ``k`` parameterizes ``round_robin``;
+    ``p`` parameterizes ``uniform``, ``k`` parameterizes ``round_robin``,
+    ``schedule`` parameterizes ``scripted`` (and is required for it);
     the seed feeds stochastic policies only.
     """
     if name == UniformActivation.key:
@@ -174,6 +220,13 @@ def make_policy(name: str, *, p: float = 0.5, k: int = 3, seed: int = 0):
         return RoundRobinActivation(k, seed)
     if name == AdversarialActivation.key:
         return AdversarialActivation(seed)
+    if name == ScriptedActivation.key:
+        if schedule is None:
+            raise ValueError(
+                "the 'scripted' policy needs an explicit schedule "
+                "(per-round token lists)"
+            )
+        return ScriptedActivation(schedule, seed)
     raise KeyError(
         f"unknown activation policy {name!r}; "
         f"available: {sorted(ACTIVATION_POLICIES)}"

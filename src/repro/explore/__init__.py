@@ -1,0 +1,51 @@
+"""Scheduler-nondeterminism explorer: the SSYNC activation tree as a
+deduplicated state DAG.
+
+The paper proves gathering and connectivity for FSYNC; under SSYNC the
+adversary picks an activation subset every round, and sampling that tree
+one seed at a time (the ``ssync`` scheduler's stochastic policies) finds
+breakages only by luck.  This package searches it *systematically*:
+
+* :func:`explore` — branch every round across its activation subsets,
+  merging translation-equivalent states into one DAG
+  (:mod:`repro.explore.canonical`).  Exhaustive closure for small
+  swarms, seeded/guided beams beyond.
+* :func:`build_witness` / :func:`verify_witness` — turn any DAG path
+  into a concrete per-round token schedule that the stock SSYNC
+  scheduler replays bit-identically (``activation="scripted"``), with
+  its k-fairness boundary attached.
+* :func:`run_certification` (in :mod:`repro.analysis.certification`) —
+  the exhaustive small-``n`` sweep as machine-checked bound tables.
+
+See ``docs/explorer.md``.
+"""
+
+from repro.explore.canonical import (
+    StateKey,
+    canonical_state_key,
+    round_phase,
+)
+from repro.explore.driver import Edge, Node, StateDag, WorstCase, explore
+from repro.explore.witness import (
+    Witness,
+    build_witness,
+    load_witness,
+    save_witness,
+    verify_witness,
+)
+
+__all__ = [
+    "Edge",
+    "Node",
+    "StateDag",
+    "StateKey",
+    "Witness",
+    "WorstCase",
+    "build_witness",
+    "canonical_state_key",
+    "explore",
+    "load_witness",
+    "round_phase",
+    "save_witness",
+    "verify_witness",
+]

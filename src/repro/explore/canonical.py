@@ -1,0 +1,104 @@
+"""Canonical state keys for the activation-subset explorer.
+
+A node of the exploration DAG is the *complete* dynamics state of an
+SSYNC round boundary.  For the grid strategy that is exactly
+
+* the occupied cells,
+* the :class:`~repro.core.runs.RunManager` run table (robot, prev,
+  direction, axis per run, in run-id order), and
+* the round phase — ``plan_round`` reads the absolute round index only
+  through ``round_index % run_start_interval`` (are run starts due?) and
+  through ``born_round == round_index`` (is a run fresh?).
+
+Everything else the controller holds (contours, start-site indexes,
+incremental caches) is a pure function of the cells, so two states with
+equal keys have bit-identical futures under equal activation choices —
+that is what makes merging them into one DAG node sound.
+
+Normalizations applied on top of the raw state:
+
+* cells and run rows are rebased by
+  :func:`repro.grid.canonical.translation_normal_form` (the dynamics is
+  translation-equivariant);
+* run ids are replaced by their rank in id order — only the *relative*
+  order of run ids ever reaches a planning decision (fold claims and
+  the reduce are settled in run-id order), and runs started later always
+  receive larger ids than any live run, so rank order is preserved by
+  the dynamics;
+* ``born_round`` is erased (to ``-1``): a checkpointed run was born in
+  an earlier round, so its freshness predicate is identically false —
+  runs born *inside* the current plan call carry the live round index
+  and are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.config import AlgorithmConfig
+from repro.grid.canonical import translation_normal_form
+from repro.grid.geometry import Cell
+
+#: One normalized run row: ``(rank, robot, prev, direction, axis)``.
+RunRow = Tuple[int, Cell, Cell, int, str]
+
+#: A full state key: ``(cells, run rows, phase)``.
+StateKey = Tuple[Tuple[Cell, ...], Tuple[RunRow, ...], int]
+
+
+def canonical_run_rows(
+    checkpoint: dict, offset: Cell
+) -> Tuple[RunRow, ...]:
+    """Normalize a :func:`~repro.trace.replay.controller_checkpoint`
+    run table: sort by run id, rank the ids, rebase the cells by
+    ``offset``, drop ``born_round``."""
+    ox, oy = offset
+    rows = sorted(checkpoint["runs"], key=lambda row: int(row[0]))
+    return tuple(
+        (
+            rank,
+            (int(row[1][0]) - ox, int(row[1][1]) - oy),
+            (int(row[2][0]) - ox, int(row[2][1]) - oy),
+            int(row[3]),
+            str(row[4]),
+        )
+        for rank, row in enumerate(rows)
+    )
+
+
+def checkpoint_from_rows(rows: Tuple[RunRow, ...]) -> dict:
+    """A restorable checkpoint dict from normalized run rows.
+
+    Ranks become the run ids and ``next_id`` continues after them, which
+    preserves the relative id order of both live and future runs;
+    ``born_round`` is ``-1`` so no restored run ever tests fresh.
+    """
+    return {
+        "next_id": len(rows),
+        "runs": [
+            [rank, list(robot), list(prev), direction, axis, -1]
+            for rank, robot, prev, direction, axis in rows
+        ],
+    }
+
+
+def round_phase(round_index: int, cfg: AlgorithmConfig) -> int:
+    """The equivalence class of ``round_index`` the planner can see.
+
+    With pipelining, run starts recur every ``run_start_interval``
+    rounds, so the phase is the index modulo the interval; without it,
+    starts fire only in round zero, collapsing every later round into
+    one class.
+    """
+    if cfg.pipelining:
+        return round_index % cfg.run_start_interval
+    return 0 if round_index == 0 else 1
+
+
+def canonical_state_key(
+    cells, checkpoint: dict, phase: int
+) -> Tuple[StateKey, Cell]:
+    """``(key, offset)`` for a raw state; ``offset`` maps the canonical
+    frame back to the input frame (``input = canonical + offset``)."""
+    normal, offset = translation_normal_form(cells)
+    return (normal, canonical_run_rows(checkpoint, offset), phase), offset

@@ -1,0 +1,494 @@
+"""The activation-subset branching driver.
+
+SSYNC nondeterminism is exactly the choice of *which planned movers
+act* each round: robots without a planned move contribute nothing to the
+state whether activated or not (the engine filters the round's plan by
+the activated cells, and activation streaks never feed a planning
+decision), so the adversary's whole power at a round with ``m`` planned
+movers is the ``2^m`` subsets of those movers.  The explorer forks the
+round across that subset lattice, reduces every resulting state to its
+canonical key (:mod:`repro.explore.canonical`), and grows the deduped
+state DAG breadth-first — cycles simply close back onto known nodes, so
+exploration terminates exactly when the reachable closure is built.
+
+Each branch replays the engine's own round, operation for operation:
+restore the controller from the node's checkpoint, ``plan_round`` (run
+starts and freshness behave correctly because the phase is part of the
+node key), apply the chosen subset of planned moves, ``notify_applied``
+(the run table advances *as if the plan had executed* — the documented
+desynchronization that lets partial activation break connectivity).
+Because planning is deterministic, the plan is computed once per node
+and the manager's post-plan state is snapshotted and restored around
+each subset instead of replanning ``2^m`` times.
+
+Modes: ``exhaustive`` expands every subset of every frontier node (the
+certification mode — complete for small ``n``); ``beam`` keeps the
+``beam_width`` most promising nodes per depth and samples
+``branch_samples`` seeded subsets per node (always including the full
+set and, when stalls are enabled, the empty set), for guided search on
+swarms whose closure is out of reach.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import AlgorithmConfig
+from repro.engine.events import EventLog
+from repro.explore.canonical import (
+    RunRow,
+    StateKey,
+    canonical_state_key,
+    checkpoint_from_rows,
+    round_phase,
+)
+from repro.grid.connectivity import articulation_cells, is_connected
+from repro.grid.geometry import Cell
+from repro.trace.replay import controller_checkpoint, restore_controller
+
+#: Seed salt keeping beam-mode subset sampling an independent stream of
+#: a user-facing seed (mirrors the facade's policy/fault salts).
+_BRANCH_SEED_SALT = 0xB4A9
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One activation choice out of a node.
+
+    ``choice`` is the activated subset of the round's planned movers,
+    as cells in the *parent's* canonical frame; ``offset`` rebases the
+    post-round state into the child's canonical frame
+    (``child_canonical = post_round - offset``).
+    """
+
+    choice: Tuple[Cell, ...]
+    child: StateKey
+    offset: Cell
+
+
+@dataclass
+class Node:
+    """One deduplicated state of the exploration DAG."""
+
+    key: StateKey
+    depth: int
+    status: str  # "open" | "gathered" | "disconnected"
+    #: BFS-tree parent: ``(parent_key, choice, offset)`` of the first
+    #: edge that discovered this node (``None`` for the root).
+    parent: Optional[Tuple[StateKey, Tuple[Cell, ...], Cell]] = None
+    #: Outgoing edges in enumeration order; ``None`` until expanded.
+    edges: Optional[List[Edge]] = None
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        return self.key[0]
+
+    @property
+    def run_rows(self) -> Tuple[RunRow, ...]:
+        return self.key[1]
+
+    @property
+    def phase(self) -> int:
+        return self.key[2]
+
+
+@dataclass
+class WorstCase:
+    """Longest-schedule analysis over a (sub)graph of the DAG.
+
+    ``unbounded`` means a cycle of the chosen edge set is reachable —
+    the adversary can postpone gathering forever; ``cycle`` then holds
+    one witness loop (node keys).  Otherwise ``rounds`` is the exact
+    worst number of rounds to gathering and ``path`` one maximizing
+    schedule (edge list from the root).  ``complete`` is False when the
+    analysis saw an unexpanded node (truncated exploration) — the
+    numbers are then lower bounds, not certificates.
+    """
+
+    unbounded: bool
+    rounds: Optional[int]
+    complete: bool
+    path: List[Edge] = field(default_factory=list)
+    cycle: List[StateKey] = field(default_factory=list)
+
+
+class StateDag:
+    """The deduplicated reachability graph of one seed swarm."""
+
+    def __init__(
+        self,
+        initial_cells,
+        cfg: AlgorithmConfig,
+        root: StateKey,
+        root_offset: Cell,
+        mode: str,
+    ) -> None:
+        self.initial_cells: Tuple[Cell, ...] = tuple(sorted(initial_cells))
+        self.cfg = cfg
+        self.root = root
+        #: ``initial = root_cells + root_offset``.
+        self.root_offset = root_offset
+        self.mode = mode
+        self.nodes: Dict[StateKey, Node] = {}
+        self.edge_count = 0
+        self.max_depth_reached = 0
+        #: True when a limit (``max_nodes``/``max_depth``/beam pruning)
+        #: cut the search before the reachable closure was built.
+        self.truncated = False
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """True iff the DAG is the full reachable closure (exhaustive
+        mode, no limit hit) — the precondition for certified claims."""
+        return self.mode == "exhaustive" and not self.truncated
+
+    def counts(self) -> Dict[str, int]:
+        """Node count per status, plus totals."""
+        out: Dict[str, int] = {"total": len(self.nodes), "edges": self.edge_count}
+        for node in self.nodes.values():
+            out[node.status] = out.get(node.status, 0) + 1
+        return out
+
+    def first(self, status: str) -> Optional[Node]:
+        """The first node of ``status`` in discovery order — under BFS
+        that is one of minimal depth (an earliest witness)."""
+        for node in self.nodes.values():
+            if node.status == status:
+                return node
+        return None
+
+    def nodes_of_status(self, status: str) -> List[Node]:
+        """All nodes of ``status``, in discovery (depth-monotone) order."""
+        return [n for n in self.nodes.values() if n.status == status]
+
+    def edge_path(self, key: StateKey) -> List[Edge]:
+        """The BFS-tree edge list from the root to ``key``."""
+        path: List[Edge] = []
+        node = self.nodes[key]
+        while node.parent is not None:
+            parent_key, choice, offset = node.parent
+            path.append(Edge(choice=choice, child=node.key, offset=offset))
+            node = self.nodes[parent_key]
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    def worst_case(self, *, include_stall: bool = False) -> WorstCase:
+        """Longest-path analysis toward gathering over the explored
+        edges (stall edges excluded by default: with them, any phase
+        cycle lets the adversary idle forever, which certifies nothing
+        beyond "doing nothing gathers nothing")."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[StateKey, int] = {}
+        best: Dict[StateKey, Optional[int]] = {}
+        best_edge: Dict[StateKey, Edge] = {}
+        complete = True
+
+        stack: List[Tuple[StateKey, int]] = [(self.root, 0)]
+        path_stack: List[StateKey] = []
+        while stack:
+            key, phase_idx = stack.pop()
+            node = self.nodes[key]
+            if phase_idx == 0:
+                if color.get(key, WHITE) != WHITE:
+                    continue
+                if node.status == "gathered":
+                    color[key] = BLACK
+                    best[key] = 0
+                    continue
+                if node.status == "disconnected":
+                    color[key] = BLACK
+                    best[key] = None
+                    continue
+                if node.edges is None:
+                    # Unexpanded frontier: the true value is unknown.
+                    color[key] = BLACK
+                    best[key] = None
+                    complete = False
+                    continue
+                color[key] = GRAY
+                path_stack.append(key)
+                stack.append((key, 1))
+                for edge in reversed(node.edges):
+                    if not include_stall and not edge.choice:
+                        continue
+                    child_color = color.get(edge.child, WHITE)
+                    if child_color == GRAY:
+                        # Back edge: a reachable cycle.
+                        start = path_stack.index(edge.child)
+                        return WorstCase(
+                            unbounded=True,
+                            rounds=None,
+                            complete=complete,
+                            cycle=path_stack[start:] + [edge.child],
+                        )
+                    if child_color == WHITE:
+                        stack.append((edge.child, 0))
+            else:
+                path_stack.pop()
+                color[key] = BLACK
+                value: Optional[int] = None
+                for edge in node.edges or ():
+                    if not include_stall and not edge.choice:
+                        continue
+                    child_best = best.get(edge.child)
+                    if child_best is None:
+                        continue
+                    if value is None or child_best + 1 > value:
+                        value = child_best + 1
+                        best_edge[key] = edge
+                best[key] = value
+
+        rounds = best.get(self.root)
+        path: List[Edge] = []
+        if rounds is not None:
+            key = self.root
+            while key in best_edge:
+                edge = best_edge[key]
+                path.append(edge)
+                key = edge.child
+        return WorstCase(
+            unbounded=False, rounds=rounds, complete=complete, path=path
+        )
+
+
+# ----------------------------------------------------------------------
+# Exploration
+# ----------------------------------------------------------------------
+def _representative_round(phase: int, cfg: AlgorithmConfig) -> int:
+    """A concrete round index with the given phase: planning only reads
+    the index through :func:`~repro.explore.canonical.round_phase`, so
+    the smallest representative is as good as the real one."""
+    if cfg.pipelining:
+        return phase
+    return 0 if phase == 0 else 1
+
+
+def _status_of(cells: Set[Cell], gather_square: int) -> str:
+    """Terminal classification of a raw cell set — the same predicates,
+    in the same precedence, as ``SsyncEngine.run()``: the bounding-box
+    gathering test wins over disconnection.  The two *can* coincide
+    (e.g. two diagonal robots inside a 2x2 box are disconnected yet
+    bbox-gathered); the engine reports such runs as ``gathered``, so
+    the explorer must too or witnesses would not replay."""
+    xs = [x for x, _ in sorted(cells)]
+    ys = [y for _, y in sorted(cells)]
+    if (
+        max(xs) - min(xs) <= gather_square - 1
+        and max(ys) - min(ys) <= gather_square - 1
+    ):
+        return "gathered"
+    if not is_connected(cells):
+        return "disconnected"
+    return "open"
+
+
+def explore(
+    initial_cells,
+    *,
+    cfg: Optional[AlgorithmConfig] = None,
+    mode: str = "exhaustive",
+    max_nodes: int = 200_000,
+    max_depth: Optional[int] = None,
+    beam_width: int = 64,
+    branch_samples: int = 24,
+    include_stall: bool = True,
+    seed: int = 0,
+    gather_square: int = 2,
+) -> StateDag:
+    """Build the deduplicated activation-subset DAG of one seed swarm.
+
+    ``mode`` is ``"exhaustive"`` (every subset of every node — complete
+    closure when no limit trips) or ``"beam"`` (seeded, guided, bounded:
+    per depth keep the ``beam_width`` nodes with the most articulation
+    cells — the most fragile states — and sample ``branch_samples``
+    subsets per node).  ``include_stall`` keeps the empty activation set
+    as a branch (stall rounds still advance the run table, which is one
+    of the desynchronization mechanisms).  Limits mark the result
+    truncated rather than raising.
+    """
+    if mode not in ("exhaustive", "beam"):
+        raise ValueError(
+            f"unknown explore mode {mode!r}; expected 'exhaustive' or 'beam'"
+        )
+    cells = sorted(initial_cells)
+    if not cells:
+        raise ValueError("cannot explore an empty swarm")
+    if not is_connected(set(cells)):
+        raise ValueError("initial swarm must be connected (paper model)")
+    user_cfg = cfg or AlgorithmConfig()
+    # Branch planning uses full-rescan mode: the incremental pipeline's
+    # caches would be rebuilt from scratch on every fork anyway (the
+    # equivalence suite pins incremental == full rescan bit-identity).
+    plan_cfg = replace(
+        user_cfg, incremental=False, shard_planning=False
+    )
+
+    root_key, root_offset = canonical_state_key(
+        cells, {"next_id": 0, "runs": []}, round_phase(0, user_cfg)
+    )
+    dag = StateDag(cells, user_cfg, root_key, root_offset, mode)
+    root = Node(
+        key=root_key, depth=0, status=_status_of(set(cells), gather_square)
+    )
+    dag.nodes[root_key] = root
+
+    rng = random.Random(seed ^ _BRANCH_SEED_SALT)
+    frontier: List[StateKey] = [root_key] if root.status == "open" else []
+
+    while frontier:
+        if mode == "beam" and len(frontier) > beam_width:
+            # Guided pruning: prefer fragile states (many articulation
+            # cells), tie-broken by key for determinism.
+            scored = sorted(
+                frontier,
+                key=lambda k: (-len(articulation_cells(set(k[0]))), k),
+            )
+            frontier = scored[:beam_width]
+            dag.truncated = True
+        next_frontier: List[StateKey] = []
+        for key in frontier:
+            node = dag.nodes[key]
+            if max_depth is not None and node.depth >= max_depth:
+                dag.truncated = True
+                continue
+            children = _expand(
+                dag, node, plan_cfg, rng,
+                mode=mode,
+                branch_samples=branch_samples,
+                include_stall=include_stall,
+                gather_square=gather_square,
+            )
+            for child_key in children:
+                child = dag.nodes[child_key]
+                if child.status == "open" and child.edges is None:
+                    next_frontier.append(child_key)
+            if len(dag.nodes) >= max_nodes:
+                dag.truncated = True
+                next_frontier = []
+                break
+        # A child can be appended twice within one depth sweep (two
+        # parents discovering it); dedupe preserving discovery order.
+        seen: Set[StateKey] = set()
+        frontier = []
+        for k in next_frontier:
+            if k not in seen and dag.nodes[k].edges is None:
+                seen.add(k)
+                frontier.append(k)
+
+    return dag
+
+
+def _subset_masks(
+    m: int,
+    *,
+    mode: str,
+    branch_samples: int,
+    include_stall: bool,
+    rng: random.Random,
+) -> List[int]:
+    """The activation-subset bitmasks to branch over, in deterministic
+    enumeration order."""
+    if mode == "exhaustive" or m <= 1 or (1 << m) <= branch_samples:
+        masks = list(range(1 << m))
+        if not include_stall:
+            masks = masks[1:]
+        return masks
+    full = (1 << m) - 1
+    masks = [full]
+    if include_stall:
+        masks.append(0)
+    seen = set(masks)
+    # Seeded sampling; the draw count is fixed so equal seeds give
+    # equal branches regardless of collision pattern.
+    for _ in range(4 * branch_samples):
+        if len(masks) >= branch_samples:
+            break
+        mask = rng.getrandbits(m)
+        if not include_stall and mask == 0:
+            continue
+        if mask not in seen:
+            seen.add(mask)
+            masks.append(mask)
+    return masks
+
+
+def _expand(
+    dag: StateDag,
+    node: Node,
+    plan_cfg: AlgorithmConfig,
+    rng: random.Random,
+    *,
+    mode: str,
+    branch_samples: int,
+    include_stall: bool,
+    gather_square: int,
+) -> List[StateKey]:
+    """Fork ``node`` across its activation subsets; returns child keys
+    in enumeration order (deduplicated against the DAG)."""
+    from repro.grid.occupancy import SwarmState
+
+    rep = _representative_round(node.phase, dag.cfg)
+    controller = restore_controller(
+        checkpoint_from_rows(node.run_rows), plan_cfg
+    )
+    controller.events = EventLog()  # branch probes never keep events
+    plan_state = SwarmState(sorted(node.cells))
+    planned = dict(controller.plan_round(plan_state, rep))
+    movers = sorted(planned)
+
+    # Snapshot the manager's post-plan state once; each subset branch
+    # restores it instead of replanning (finalize consumes ``_planned``
+    # and rebuilds ``runs`` from fresh Run objects, never mutating the
+    # snapshotted ones).
+    manager = controller.run_manager
+    planned_records = list(manager._planned)
+    runs_snapshot = dict(manager.runs)
+    next_id_snapshot = manager._next_id
+
+    child_phase = round_phase(rep + 1, dag.cfg)
+    node.edges = []
+    children: List[StateKey] = []
+    masks = _subset_masks(
+        len(movers),
+        mode=mode,
+        branch_samples=branch_samples,
+        include_stall=include_stall,
+        rng=rng,
+    )
+    for mask in masks:
+        chosen = tuple(
+            movers[i] for i in range(len(movers)) if mask >> i & 1
+        )
+        manager._planned = list(planned_records)
+        manager.runs = dict(runs_snapshot)
+        manager._next_id = next_id_snapshot
+        branch_state = SwarmState(sorted(node.cells))
+        moves = {c: planned[c] for c in chosen}
+        merged = branch_state.apply_moves(moves)
+        controller.notify_applied(branch_state, rep, moves, merged)
+
+        key, offset = canonical_state_key(
+            branch_state.cells,
+            controller_checkpoint(controller),
+            child_phase,
+        )
+        node.edges.append(Edge(choice=chosen, child=key, offset=offset))
+        dag.edge_count += 1
+        child = dag.nodes.get(key)
+        if child is None:
+            child = Node(
+                key=key,
+                depth=node.depth + 1,
+                status=_status_of(branch_state.cells, gather_square),
+                parent=(node.key, chosen, offset),
+            )
+            dag.nodes[key] = child
+            dag.max_depth_reached = max(
+                dag.max_depth_reached, child.depth
+            )
+            children.append(key)
+    return children

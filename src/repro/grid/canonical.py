@@ -1,0 +1,101 @@
+"""Canonical forms of occupancy sets: translation and D4 normalization.
+
+The nondeterminism explorer (:mod:`repro.explore`) dedupes swarm states
+that differ only by a rigid motion of the grid.  Two normal forms live
+here, next to the other pure cell-set predicates:
+
+* :func:`translation_normal_form` — rebase the cells so the bounding
+  box's lower-left corner is the origin.  The gathering dynamics is
+  translation-equivariant by construction (every predicate the planner
+  evaluates is relative), so translation-deduped exploration is *sound*:
+  two states with equal normal forms have isomorphic futures.  This is
+  the explorer's state key.
+* :func:`d4_normal_form` — additionally minimize over the eight
+  rotations/reflections of the square grid (the dihedral group D4).
+  Rotational equivariance of the dynamics is *not* assumed anywhere; the
+  certification sweep uses this form only to group symmetric seed shapes
+  and then **checks empirically** that every member of a group certifies
+  to the same numbers (``symmetry_consistent`` in the report).
+
+Both are pure functions of the cell iterable and return sorted tuples,
+so equal sets always hash equally regardless of input order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.grid.geometry import Cell
+
+#: The eight D4 elements as integer matrices ``(a, b, c, d)`` acting as
+#: ``(x, y) -> (a*x + b*y, c*x + d*y)``: rotations by 0/90/180/270
+#: degrees, then the same four composed with the x-axis reflection.
+D4_MATRICES: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 0, 0, 1),
+    (0, -1, 1, 0),
+    (-1, 0, 0, -1),
+    (0, 1, -1, 0),
+    (-1, 0, 0, 1),
+    (0, 1, 1, 0),
+    (1, 0, 0, -1),
+    (0, -1, -1, 0),
+)
+
+
+def apply_d4(index: int, cell: Cell) -> Cell:
+    """Apply the ``index``-th D4 element to one cell."""
+    a, b, c, d = D4_MATRICES[index]
+    x, y = cell
+    return (a * x + b * y, c * x + d * y)
+
+
+def translation_normal_form(
+    cells: Iterable[Cell],
+) -> Tuple[Tuple[Cell, ...], Cell]:
+    """``(normal, offset)`` with ``original = normal + offset``.
+
+    ``normal`` is the sorted tuple of cells rebased so ``min x`` and
+    ``min y`` are both zero; ``offset`` is the subtracted corner.
+    """
+    pts: List[Cell] = sorted(cells)
+    if not pts:
+        raise ValueError("cannot normalize an empty cell set")
+    ox = min(x for x, _ in pts)
+    oy = min(y for _, y in pts)
+    return tuple((x - ox, y - oy) for x, y in pts), (ox, oy)
+
+
+def d4_normal_form(cells: Iterable[Cell]) -> Tuple[Cell, ...]:
+    """The lexicographically smallest translation normal form over all
+    eight D4 images — a canonical representative of the cell set up to
+    rotation, reflection, and translation (the "free polyomino" form).
+    """
+    pts = list(cells)
+    best: Tuple[Cell, ...] = ()
+    for index in range(len(D4_MATRICES)):
+        image = [apply_d4(index, c) for c in pts]
+        normal, _ = translation_normal_form(image)
+        if not best or normal < best:
+            best = normal
+    return best
+
+
+def occupancy_key(
+    cells: Iterable[Cell], symmetry: str = "translation"
+) -> Tuple[Cell, ...]:
+    """A hashable canonical key for an occupancy set.
+
+    ``symmetry`` selects the group factored out: ``"none"`` (sorted
+    tuple as-is), ``"translation"`` (the explorer's sound default), or
+    ``"d4"`` (translation + rotation/reflection).
+    """
+    if symmetry == "none":
+        return tuple(sorted(cells))
+    if symmetry == "translation":
+        return translation_normal_form(cells)[0]
+    if symmetry == "d4":
+        return d4_normal_form(cells)
+    raise ValueError(
+        f"unknown symmetry {symmetry!r}; "
+        f"expected 'none', 'translation', or 'd4'"
+    )

@@ -146,3 +146,84 @@ def last_checkpoint(rows: Sequence[TraceRow]) -> Optional[TraceRow]:
         if row.checkpoint is not None:
             return row
     return None
+
+
+# ----------------------------------------------------------------------
+# SSYNC witness schedules (the nondeterminism explorer's artifacts)
+# ----------------------------------------------------------------------
+def replay_schedule(
+    initial_cells: Sequence,
+    schedule: Sequence,
+    *,
+    cfg: Optional[AlgorithmConfig] = None,
+    k_fairness: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    on_round=None,
+):
+    """Re-drive an explicit activation schedule through the stock SSYNC
+    scheduler (``activation="scripted"``).
+
+    ``schedule`` is a per-round sequence of robot-token lists, as
+    exported by :mod:`repro.explore` witnesses.  ``k_fairness`` defaults
+    to ``len(schedule) + 2`` — large enough that fairness forcing can
+    never perturb the script (no streak can reach the forcing threshold
+    within the scripted rounds).  Returns the facade ``RunResult``.
+    """
+    from repro.api import simulate  # lazy: api imports this package
+
+    return simulate(
+        list(initial_cells),
+        strategy="grid",
+        scheduler="ssync",
+        config=cfg,
+        activation="scripted",
+        schedule=[list(entry) for entry in schedule],
+        k_fairness=(
+            k_fairness if k_fairness is not None else len(schedule) + 2
+        ),
+        max_rounds=max_rounds,
+        on_round=on_round,
+    )
+
+
+def verify_schedule_trace(
+    initial_cells: Sequence,
+    schedule: Sequence,
+    rows: Sequence,
+    *,
+    cfg: Optional[AlgorithmConfig] = None,
+    k_fairness: Optional[int] = None,
+    expect_terminal: Optional[str] = None,
+    violation_round: Optional[int] = None,
+) -> bool:
+    """True iff replaying ``schedule`` reproduces ``rows`` exactly.
+
+    ``rows`` is the expected per-round sorted cell list (one entry per
+    scheduled round); the comparison is bit-identical, round for round.
+    ``expect_terminal`` additionally requires that terminal event
+    (``"connectivity_lost"`` / ``"gathered"``) in the replay's event
+    log, and ``violation_round`` pins the round of the
+    ``connectivity_violation`` event.
+    """
+    observed: List[tuple] = []
+    result = replay_schedule(
+        initial_cells,
+        schedule,
+        cfg=cfg,
+        k_fairness=k_fairness,
+        max_rounds=len(rows),
+        on_round=lambda i, s: observed.append(tuple(sorted(s.cells))),
+    )
+    if len(observed) != len(rows):
+        return False
+    for expected, got in zip(rows, observed):
+        if tuple(expected) != got:
+            return False
+    if expect_terminal is not None:
+        if not result.events.of_kind(expect_terminal):
+            return False
+    if violation_round is not None:
+        violations = result.events.of_kind("connectivity_violation")
+        if [e.round_index for e in violations] != [violation_round]:
+            return False
+    return True

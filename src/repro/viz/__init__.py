@@ -4,6 +4,7 @@ from repro.viz.ascii_art import render, render_with_marks, side_by_side
 from repro.viz.svg import SvgCanvas, swarm_to_svg
 from repro.viz.animate import FrameRecorder
 from repro.viz.figures import FIGURES, figure
+from repro.viz.stategraph import dag_to_dot, dag_to_html
 
 __all__ = [
     "render",
@@ -14,4 +15,6 @@ __all__ = [
     "FrameRecorder",
     "FIGURES",
     "figure",
+    "dag_to_dot",
+    "dag_to_html",
 ]

@@ -1,0 +1,178 @@
+"""Exploration-DAG rendering: Graphviz DOT and a standalone HTML view.
+
+Both exports are dependency-free strings over a
+:class:`~repro.explore.driver.StateDag`.  Nodes are laid out by BFS
+depth (one column per depth, discovery order within a column), colored
+by status — open gray, gathered green, disconnected red — and labelled
+with robot count and depth; edges carry the number of activated movers.
+The HTML file embeds the same graph as an inline SVG plus a JSON blob,
+so a witness can be eyeballed (follow the red node's ancestry) without
+any tooling beyond a browser.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Tuple
+
+from repro.explore.driver import StateDag
+
+_STATUS_COLOR = {
+    "open": "#9aa0a6",
+    "gathered": "#34a853",
+    "disconnected": "#ea4335",
+}
+
+
+def _node_order(dag: StateDag) -> Dict[tuple, int]:
+    return {key: i for i, key in enumerate(dag.nodes)}
+
+
+def dag_to_dot(dag: StateDag, *, max_nodes: int = 2000) -> str:
+    """The DAG as Graphviz DOT (first ``max_nodes`` nodes in discovery
+    order; edges between included nodes only)."""
+    order = _node_order(dag)
+    included = {k for k, i in order.items() if i < max_nodes}
+    lines: List[str] = [
+        "digraph ssync_explore {",
+        "  rankdir=LR;",
+        '  node [shape=circle, style=filled, fontsize=9];',
+    ]
+    for key in dag.nodes:
+        if key not in included:
+            continue
+        node = dag.nodes[key]
+        i = order[key]
+        color = _STATUS_COLOR[node.status]
+        label = f"{len(node.cells)}r/d{node.depth}"
+        tooltip = " ".join(f"({x},{y})" for x, y in node.cells)
+        lines.append(
+            f'  n{i} [label="{label}", fillcolor="{color}", '
+            f'tooltip="{tooltip}"];'
+        )
+    for key in dag.nodes:
+        if key not in included:
+            continue
+        node = dag.nodes[key]
+        for edge in node.edges or ():
+            if edge.child not in included:
+                continue
+            lines.append(
+                f"  n{order[key]} -> n{order[edge.child]} "
+                f'[label="{len(edge.choice)}", fontsize=8];'
+            )
+    if len(dag.nodes) > max_nodes:
+        lines.append(
+            f'  truncated [shape=note, label="{len(dag.nodes) - max_nodes}'
+            f' more nodes"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _layout(
+    dag: StateDag, max_nodes: int
+) -> Tuple[Dict[tuple, Tuple[int, int]], int, int]:
+    """Deterministic layered layout: x by depth, y by order-in-layer."""
+    positions: Dict[tuple, Tuple[int, int]] = {}
+    layer_fill: Dict[int, int] = {}
+    for i, (key, node) in enumerate(dag.nodes.items()):
+        if i >= max_nodes:
+            break
+        row = layer_fill.get(node.depth, 0)
+        layer_fill[node.depth] = row + 1
+        positions[key] = (60 + node.depth * 110, 40 + row * 26)
+    width = 120 + 110 * (max(layer_fill) if layer_fill else 0)
+    height = 80 + 26 * (max(layer_fill.values()) if layer_fill else 0)
+    return positions, width, height
+
+
+def dag_to_html(
+    dag: StateDag, *, title: str = "SSYNC exploration", max_nodes: int = 2000
+) -> str:
+    """A self-contained HTML page: inline SVG of the DAG plus the raw
+    graph as an embedded JSON blob (``id="dag-data"``)."""
+    positions, width, height = _layout(dag, max_nodes)
+    order = _node_order(dag)
+    counts = dag.counts()
+
+    svg: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+    ]
+    for key, node in dag.nodes.items():
+        if key not in positions:
+            continue
+        x1, y1 = positions[key]
+        for edge in node.edges or ():
+            if edge.child not in positions:
+                continue
+            x2, y2 = positions[edge.child]
+            svg.append(
+                f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+                f'stroke="#c5c9ce" stroke-width="1">'
+                f"<title>activate {len(edge.choice)} of "
+                f"{len(node.cells)}</title></line>"
+            )
+    for key, node in dag.nodes.items():
+        if key not in positions:
+            continue
+        x, y = positions[key]
+        color = _STATUS_COLOR[node.status]
+        cells = " ".join(f"({cx},{cy})" for cx, cy in node.cells)
+        svg.append(
+            f'<circle cx="{x}" cy="{y}" r="8" fill="{color}">'
+            f"<title>#{order[key]} depth {node.depth} "
+            f"{html.escape(node.status)}: {cells}</title></circle>"
+        )
+    svg.append("</svg>")
+
+    data = {
+        "initial": [list(c) for c in dag.initial_cells],
+        "mode": dag.mode,
+        "complete": dag.complete,
+        "counts": counts,
+        "nodes": [
+            {
+                "id": order[key],
+                "depth": node.depth,
+                "status": node.status,
+                "cells": [list(c) for c in node.cells],
+                "phase": node.phase,
+            }
+            for key, node in dag.nodes.items()
+        ],
+        "edges": [
+            {
+                "source": order[key],
+                "target": order[edge.child],
+                "movers": len(edge.choice),
+            }
+            for key, node in dag.nodes.items()
+            for edge in node.edges or ()
+        ],
+    }
+    summary = (
+        f"{counts['total']} states, {counts['edges']} edges — "
+        f"{counts.get('gathered', 0)} gathered, "
+        f"{counts.get('disconnected', 0)} disconnected, "
+        f"{counts.get('open', 0)} open; "
+        f"{'complete closure' if dag.complete else 'truncated search'}"
+    )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        "<style>body{font-family:sans-serif;margin:1.5em}"
+        "svg{border:1px solid #ddd;max-width:100%}</style>"
+        "</head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p>{html.escape(summary)}</p>"
+        "<p><span style=\"color:#9aa0a6\">&#9679;</span> open "
+        "<span style=\"color:#34a853\">&#9679;</span> gathered "
+        "<span style=\"color:#ea4335\">&#9679;</span> disconnected</p>"
+        + "".join(svg)
+        + '\n<script type="application/json" id="dag-data">'
+        + json.dumps(data)
+        + "</script></body></html>\n"
+    )

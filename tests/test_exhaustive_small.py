@@ -47,3 +47,42 @@ def test_every_polyomino_gathers(n):
             if len(failures) >= 3:
                 break
     assert not failures, f"stalled or broke on {len(failures)}+: {failures}"
+
+
+#: Exact worst-case FSYNC gathering rounds over every fixed polyomino of
+#: each size — golden bounds, far below the certified linear budget.
+#: The maximum is always attained by the straight line.
+GOLDEN_WORST_ROUNDS = {3: 1, 4: 1, 5: 2, 6: 2, 7: 3, 8: 3}
+
+
+@pytest.mark.parametrize("n", sorted(GOLDEN_WORST_ROUNDS))
+def test_golden_worst_case_rounds(n):
+    worst = 0
+    for shape in all_polyominoes(n):
+        result = gather(sorted(shape), CFG, max_rounds=40 * n + 40)
+        assert result.gathered
+        worst = max(worst, result.rounds)
+    assert worst == GOLDEN_WORST_ROUNDS[n], (
+        f"worst-case FSYNC rounds drifted at n={n}: {worst} != "
+        f"{GOLDEN_WORST_ROUNDS[n]} (an algorithm change moved the "
+        f"golden bound — recompute deliberately if intended)"
+    )
+
+
+#: How many fixed polyominoes of each size an unrestricted SSYNC
+#: adversary can disconnect, certified by the exhaustive explorer
+#: (sizes above 4 are covered by the CI certification sweep).
+GOLDEN_BREAKABLE_SHAPES = {3: 0, 4: 16}
+
+
+@pytest.mark.parametrize("n", sorted(GOLDEN_BREAKABLE_SHAPES))
+def test_golden_ssync_breakability(n):
+    from repro.explore import explore
+
+    breakable = sum(
+        1
+        for shape in all_polyominoes(n)
+        if explore(sorted(shape), cfg=CFG).first("disconnected")
+        is not None
+    )
+    assert breakable == GOLDEN_BREAKABLE_SHAPES[n]

@@ -160,6 +160,89 @@ def test_boundary_contours_partition_all_sides(cells):
     assert set(seen) == expected
 
 
+@settings(max_examples=20, deadline=None)
+@given(
+    cells=st.builds(
+        lambda n, seed: random_blob(n, seed),
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    sched_seed=st.integers(min_value=0, max_value=10_000),
+    p=st.floats(min_value=0.2, max_value=0.9),
+)
+def test_scripted_schedules_preserve_core_invariants(cells, sched_seed, p):
+    """Schedule fuzz: under an arbitrary activation script the robot
+    count never increases, and a connectivity violation ends the run
+    that same round — as ``connectivity_lost``, or as ``gathered`` when
+    the split state still fits the gathering box (two diagonal robots
+    in a 2x2 bounding box; the engine checks gathering first)."""
+    import random
+
+    from repro.trace.replay import replay_schedule
+
+    rng = random.Random(sched_seed)
+    schedule = [
+        tuple(t for t in range(len(cells)) if rng.random() < p)
+        for _ in range(24)
+    ]
+    counts = []
+    result = replay_schedule(
+        sorted(cells),
+        schedule,
+        max_rounds=150,
+        on_round=lambda i, s: counts.append(len(s)),
+    )
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    violations = result.events.of_kind("connectivity_violation")
+    lost = result.events.of_kind("connectivity_lost")
+    assert len(violations) <= 1
+    assert len(lost) <= len(violations)
+    if violations:
+        # the run stops at the violation round; gathering wins the
+        # terminal when both predicates hold, otherwise the violation
+        # must surface as the connectivity_lost terminal
+        assert result.rounds == violations[0].round_index + 1
+        if result.gathered:
+            assert not lost
+        else:
+            assert len(lost) == 1
+    else:
+        assert not lost
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    cells=st.builds(
+        lambda n, seed: random_blob(n, seed),
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=0, max_value=10_000),
+    )
+)
+def test_full_activation_script_is_fsync(cells):
+    """The all-tokens script is FSYNC: identical round count and
+    identical per-round cells, for any connected seed."""
+    from repro.trace.replay import replay_schedule
+
+    cells = sorted(cells)
+    frames_f, frames_s = [], []
+    engine = FsyncEngine(
+        SwarmState(cells),
+        GatherOnGrid(),
+        on_round=lambda i, s: frames_f.append(tuple(sorted(s.cells))),
+    )
+    fsync = engine.run(max_rounds=150)
+    schedule = [tuple(range(len(cells)))] * fsync.rounds
+    scripted = replay_schedule(
+        cells,
+        schedule,
+        max_rounds=150,
+        on_round=lambda i, s: frames_s.append(tuple(sorted(s.cells))),
+    )
+    assert scripted.gathered == fsync.gathered
+    assert scripted.rounds == fsync.rounds
+    assert frames_s == frames_f
+
+
 @settings(max_examples=25, deadline=None)
 @given(cells=connected_swarms)
 def test_trace_replay_roundtrip(cells):

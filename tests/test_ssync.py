@@ -203,7 +203,29 @@ class TestFairnessAndPolicies:
             "uniform",
             "round_robin",
             "adversarial",
+            "scripted",
         }
+
+    def test_scripted_policy_requires_a_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            make_policy("scripted")
+        with pytest.raises(ValueError, match="scripted"):
+            simulate(
+                ring(8),
+                scheduler="ssync",
+                activation="uniform",
+                schedule=[(0,)],
+                check_connectivity=False,
+            )
+
+    def test_scripted_policy_follows_the_script_then_fsync(self):
+        policy = make_policy("scripted", schedule=[(0, 2), ()])
+        roster = list(range(4))
+        assert policy.select(0, roster, frozenset()) == {0, 2}
+        assert policy.select(1, roster, frozenset()) == set()
+        # past the script's end: FSYNC tail over whoever is alive
+        assert policy.select(2, roster, frozenset()) == set(roster)
+        assert policy.select(7, [1, 3], frozenset()) == {1, 3}
 
     def test_inapplicable_policy_parameter_rejected(self):
         with pytest.raises(ValueError, match="activation_p applies only"):
@@ -400,3 +422,103 @@ class TestSurface:
         )
         assert result.robots_final < result.robots_initial
         assert len(result.metrics) == result.rounds
+
+
+class TestScheduleFuzz:
+    """Seeded schedule fuzzing through the ``scripted`` policy: random
+    explicit activation scripts must uphold the same invariants as the
+    stochastic policies, and the all-tokens script is the FSYNC anchor
+    in scripted clothing."""
+
+    @staticmethod
+    def _random_schedule(n_tokens, rounds, seed, p=0.7):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            tuple(t for t in range(n_tokens) if rng.random() < p)
+            for _ in range(rounds)
+        ]
+
+    def test_all_tokens_script_reproduces_fsync(self):
+        from repro.trace.replay import replay_schedule
+
+        cells = sorted(ring(14))
+        fsync = simulate(cells, record_trajectory=True)
+        schedule = [tuple(range(len(cells)))] * fsync.rounds
+        scripted = replay_schedule(cells, schedule)
+        assert scripted.rounds == fsync.rounds
+        assert scripted.gathered
+
+    def test_fuzzed_scripts_uphold_invariants(self):
+        """Over a batch of seeded random scripts: robot counts never
+        increase, and a connectivity violation ends the run that same
+        round — as ``connectivity_lost``, or as ``gathered`` when the
+        split state still fits the gathering box (the engine checks
+        the bounding-box gathering predicate first)."""
+        from repro.swarms.generators import random_blob
+        from repro.trace.replay import replay_schedule
+
+        outcomes = set()
+        for seed in range(12):
+            cells = sorted(random_blob(10, seed))
+            schedule = self._random_schedule(len(cells), 30, seed)
+            counts = []
+            result = replay_schedule(
+                cells,
+                schedule,
+                max_rounds=120,
+                on_round=lambda i, s: counts.append(len(s)),
+            )
+            assert all(a >= b for a, b in zip(counts, counts[1:]))
+            violations = result.events.of_kind("connectivity_violation")
+            lost = result.events.of_kind("connectivity_lost")
+            assert len(violations) <= 1
+            assert len(lost) <= len(violations)
+            if violations:
+                assert result.rounds == violations[0].round_index + 1
+                if result.gathered:
+                    assert not lost
+                else:
+                    assert len(lost) == 1
+                    outcomes.add("broken")
+            else:
+                assert not lost
+            if result.gathered:
+                outcomes.add("gathered")
+        # the fuzz batch must actually exercise both outcomes
+        assert outcomes == {"broken", "gathered"}
+
+    def test_scripted_replay_is_deterministic(self):
+        from repro.swarms.generators import random_blob
+        from repro.trace.replay import replay_schedule
+
+        cells = sorted(random_blob(12, 3))
+        schedule = self._random_schedule(len(cells), 20, seed=9)
+
+        def run():
+            return replay_schedule(cells, schedule, max_rounds=80)
+
+        assert digest(run()) == digest(run())
+
+    def test_explorer_witness_replays_through_stock_scheduler(self):
+        """End to end: an explorer-found counterexample drives the real
+        SSYNC scheduler to the exact predicted per-round cells."""
+        from repro.explore import build_witness, explore, verify_witness
+
+        dag = explore([(0, 0), (0, 1), (0, 2), (1, 0)])
+        witness = build_witness(dag, target=dag.first("disconnected").key)
+        assert verify_witness(witness)
+        result = simulate(
+            list(witness.initial),
+            scheduler="ssync",
+            activation="scripted",
+            schedule=[list(s) for s in witness.schedule],
+            k_fairness=witness.fairness_k,
+        )
+        assert not result.gathered
+        violations = result.events.of_kind("connectivity_violation")
+        assert [e.round_index for e in violations] == [
+            witness.violation_round
+        ]
+        assert result.events.of_kind("connectivity_lost")

@@ -19,6 +19,7 @@ from tools.reprolint.engine import FileRule, Finding, SourceFile
 ORDER_SENSITIVE_PREFIXES: Tuple[str, ...] = (
     "src/repro/core/",
     "src/repro/engine/",
+    "src/repro/explore/",
     "src/repro/grid/",
 )
 

@@ -99,10 +99,16 @@ class SharedStatePurityRule(ProjectRule):
             # these call graphs).
             ("src/repro/engine/snapshot.py", "decode_round_context"),
             ("src/repro/engine/snapshot.py", "plan_shard"),
+            # The explorer's state-key construction: a canonical key
+            # must be a pure function of the checkpoint it summarizes —
+            # a write here would let one branch leak into its siblings.
+            ("src/repro/explore/canonical.py", "canonical_state_key"),
         ),
         follow_prefixes: Sequence[str] = (
             "src/repro/core/",
             "src/repro/engine/snapshot.py",
+            "src/repro/explore/",
+            "src/repro/grid/canonical.py",
         ),
     ) -> None:
         self.entries = tuple(entries)
