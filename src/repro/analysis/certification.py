@@ -49,12 +49,15 @@ def fsync_budget(n: int) -> int:
     return 40 * n + 40
 
 
-def _fsync_rounds(cells, cfg: AlgorithmConfig, budget: int) -> int:
+def _fsync_rounds(
+    cells, cfg: AlgorithmConfig, budget: int, strategy: str = "grid"
+) -> int:
     """Exact FSYNC rounds to gather (raises if the budget is blown —
     a budget violation at certified sizes is a finding, not a datum)."""
-    from repro.core.algorithm import GatherOnGrid
+    from repro.trace.replay import grid_controller_class
 
-    engine = FsyncEngine(SwarmState(list(cells)), GatherOnGrid(cfg))
+    controller = grid_controller_class(strategy)(cfg)
+    engine = FsyncEngine(SwarmState(list(cells)), controller)
     result = engine.run(max_rounds=budget)
     if not result.gathered:
         raise InvariantError(
@@ -89,14 +92,25 @@ def certify_shape(
     cfg: Optional[AlgorithmConfig] = None,
     max_nodes: int = 200_000,
     scan_witnesses: int = 8,
+    strategy: str = "grid",
+    symmetry: str = "translation",
 ) -> Dict[str, object]:
-    """The certification record of one seed shape (exhaustive mode)."""
+    """The certification record of one seed shape (exhaustive mode).
+
+    ``strategy`` certifies the stock algorithm (``"grid"``) or its
+    connectivity-``"tolerant"`` variant; ``symmetry="d4"`` accelerates
+    the closure by folding rotations/reflections into the state key
+    (verdicts only — witness scanning is skipped on D4 DAGs).
+    """
     cfg = cfg or AlgorithmConfig()
     cells = sorted(cells)
     budget = fsync_budget(len(cells))
-    dag = explore(cells, cfg=cfg, mode="exhaustive", max_nodes=max_nodes)
+    dag = explore(
+        cells, cfg=cfg, mode="exhaustive", max_nodes=max_nodes,
+        strategy=strategy, symmetry=symmetry,
+    )
     counts = dag.counts()
-    fsync_rounds = _fsync_rounds(cells, cfg, budget)
+    fsync_rounds = _fsync_rounds(cells, cfg, budget, strategy)
     path_rounds = _fsync_path_rounds(dag)
 
     violation_depth: Optional[int] = None
@@ -106,12 +120,15 @@ def certify_shape(
     if broken:
         violation_depth = broken[0].depth
         # The earliest witness is the headline; scanning a few more
-        # minimizes the reported k-fairness boundary.
-        for node in broken[:scan_witnesses]:
-            candidate = build_witness(dag, target=node.key, cfg=cfg)
-            if fairness_k is None or candidate.fairness_k < fairness_k:
-                fairness_k = candidate.fairness_k
-                witness = candidate
+        # minimizes the reported k-fairness boundary.  D4 DAGs carry no
+        # exact frames, so witness extraction is skipped there (the
+        # verdict fields still stand).
+        if symmetry == "translation":
+            for node in broken[:scan_witnesses]:
+                candidate = build_witness(dag, target=node.key, cfg=cfg)
+                if fairness_k is None or candidate.fairness_k < fairness_k:
+                    fairness_k = candidate.fairness_k
+                    witness = candidate
     return {
         "cells": tuple(cells),
         "free_form": d4_normal_form(cells),
@@ -134,13 +151,20 @@ def run_certification(
     max_nodes: int = 200_000,
     scan_witnesses: int = 8,
     verify: bool = True,
+    strategy: str = "grid",
+    symmetry: str = "translation",
 ) -> Dict[str, object]:
     """Certify every fixed polyomino of sizes ``min_n..max_n``.
 
     Returns ``{"rows": [...], "overall_ok": bool, "witness": ...}``;
     see the module docstring for the row fields.  ``verify=True``
     replays each size's minimal-``k`` witness through the stock SSYNC
-    scheduler and records the bit-identity verdict.
+    scheduler and records the bit-identity verdict.  ``strategy``
+    selects the certified grid-state algorithm (stock ``"grid"`` or the
+    connectivity-``"tolerant"`` variant); ``symmetry="d4"`` folds
+    rotations/reflections into the explorer's dedup key — verdicts must
+    (and, per the D4 audit, empirically do) match the translation-only
+    sweep, but witness extraction/verification is skipped.
     """
     cfg = cfg or AlgorithmConfig()
     rows: List[Dict[str, object]] = []
@@ -152,6 +176,8 @@ def run_certification(
             cfg=cfg,
             max_nodes=max_nodes,
             scan_witnesses=scan_witnesses,
+            strategy=strategy,
+            symmetry=symmetry,
         ) for shape in all_polyominoes(n)]
         complete = all(s["complete"] for s in shapes)
         max_fsync = max(s["fsync_rounds"] for s in shapes)
@@ -188,9 +214,10 @@ def run_certification(
         min_fairness = min(fairness_values) if fairness_values else None
 
         witness_verified: Optional[bool] = None
-        if verify and breakable:
+        with_witness = [s for s in breakable if s["witness"] is not None]
+        if verify and with_witness:
             best = min(
-                (s for s in breakable if s["witness"] is not None),
+                with_witness,
                 key=lambda s: (s["fairness_k"], s["violation_depth"]),
             )
             witness_verified = verify_witness(best["witness"], cfg=cfg)
@@ -227,6 +254,8 @@ def run_certification(
     return {
         "min_n": min_n,
         "max_n": max_n,
+        "strategy": strategy,
+        "symmetry": symmetry,
         "rows": rows,
         "overall_ok": overall_ok,
         "witness": headline,
@@ -277,7 +306,10 @@ def format_certification(report: Dict[str, object]) -> str:
         for row in report["rows"]
     ]
     title = (
-        f"SSYNC certification sweep, all fixed polyominoes "
+        f"SSYNC certification sweep "
+        f"({report.get('strategy', 'grid')} strategy, "
+        f"{report.get('symmetry', 'translation')} dedup), "
+        f"all fixed polyominoes "
         f"n={report['min_n']}..{report['max_n']}"
     )
     return format_table(headers, table_rows, title=title)

@@ -298,6 +298,103 @@ def run_robustness(
     return out
 
 
+# ----------------------------------------------------------------------
+# Fault axes (sleep / crash / byzantine)
+# ----------------------------------------------------------------------
+#: Fault axis name -> the scheduler option it sweeps.
+FAULT_AXES = {
+    "sleep": "sleep_rate",
+    "crash": "crash_rate",
+    "byzantine": "byzantine_rate",
+}
+
+
+@dataclass(frozen=True)
+class FaultAxisPoint:
+    """One point of the fault-axis experiment: a strategy on its
+    worst-case family under one fault model at one rate."""
+
+    strategy: str
+    axis: str
+    rate: float
+    n: int
+    rounds: int
+    gathered: bool
+    merges: int
+
+
+def run_fault_axes(
+    strategies: Sequence[str],
+    axes: Sequence[str],
+    rates: Sequence[float],
+    n: int,
+    *,
+    activation_p: float = 0.8,
+    k_fairness: int = 8,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[FaultAxisPoint]:
+    """Gathering time vs fault rate, per strategy and fault axis.
+
+    Each strategy runs on its own worst-case/showcase family under the
+    faulty SSYNC scheduler, sweeping exactly one fault knob per axis —
+    ``sleep`` (transient omission), ``crash`` (crash-stop), or
+    ``byzantine`` (adversarial robots: stale views, off-plan hops,
+    playing dead) — with the others at zero.  Connectivity checking is
+    off for the same reason as :func:`run_robustness`: degradation past
+    the stock algorithm's breakage point is the measurement (the
+    ``tolerant`` strategy is the one expected to survive it).  Rendered
+    by figure ``fig23``.
+    """
+    from repro.api import STRATEGIES
+
+    unknown = sorted(set(axes) - set(FAULT_AXES))
+    if unknown:
+        raise ValueError(
+            f"unknown fault axes {unknown}; expected a subset of "
+            f"{sorted(FAULT_AXES)}"
+        )
+    jobs = []
+    combos: List[Tuple[str, str, float]] = []
+    for key in strategies:
+        scenario = STRATEGIES[key].compare_scenario(n)
+        for axis in axes:
+            option = FAULT_AXES[axis]
+            for rate in rates:
+                combos.append((key, axis, rate))
+                jobs.append(
+                    SweepJob(
+                        family=scenario.family,
+                        n=scenario.n,
+                        seed=seed if scenario.seed is None else scenario.seed,
+                        check_connectivity=False,
+                        max_rounds=max_rounds,
+                        strategy=key,
+                        scheduler="ssync-faulty",
+                        options=(
+                            ("activation", "uniform"),
+                            ("activation_p", activation_p),
+                            ("k_fairness", k_fairness),
+                            (option, rate),
+                        ),
+                    )
+                )
+    points = run_jobs(jobs, workers=workers)
+    return [
+        FaultAxisPoint(
+            strategy=key,
+            axis=axis,
+            rate=rate,
+            n=point.n,
+            rounds=point.rounds,
+            gathered=point.gathered,
+            merges=point.merges,
+        )
+        for (key, axis, rate), point in zip(combos, points)
+    ]
+
+
 def sweep(
     param_values: Sequence,
     make_cfg: Callable[[object], AlgorithmConfig],

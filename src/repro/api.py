@@ -60,6 +60,8 @@ from repro.baselines.euclidean import (
 from repro.baselines.global_grid import GlobalVisionGatherer
 from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
+from repro.core.tolerant import TolerantGatherOnGrid
+from repro.engine.async_lcm import AsyncLcmEngine
 from repro.engine.async_scheduler import AsyncEngine
 from repro.engine.events import EventLog
 from repro.engine.faults import FaultInjector
@@ -305,6 +307,12 @@ class _SsyncSchedulerBase:
         Per-robot, per-round transient-sleep and crash-stop fault
         probabilities (defaults differ between ``ssync`` and
         ``ssync-faulty``).
+    ``byzantine_rate``
+        Probability that a robot is byzantine for the whole run —
+        each round it reports a stale position, hops off-plan, or
+        plays dead (``docs/schedulers.md``).  Grid-state programs
+        only; draws are churn-invariant and independent of the
+        crash/sleep and activation streams.
 
     One ``simulate(seed=...)`` seeds policy and fault draws on
     independent RNG streams; ``seed=None`` means seed 0 — adversarial
@@ -319,9 +327,11 @@ class _SsyncSchedulerBase:
         "k_fairness",
         "sleep_rate",
         "crash_rate",
+        "byzantine_rate",
     )
     default_sleep_rate = 0.0
     default_crash_rate = 0.0
+    default_byzantine_rate = 0.0
     key = "ssync"  # overridden by the registered subclasses
 
     def _build_schedule(self, ctx: SimContext) -> ActivationSchedule:
@@ -333,6 +343,9 @@ class _SsyncSchedulerBase:
         k_fairness = opts.pop("k_fairness", 8)
         sleep_rate = opts.pop("sleep_rate", self.default_sleep_rate)
         crash_rate = opts.pop("crash_rate", self.default_crash_rate)
+        byzantine_rate = opts.pop(
+            "byzantine_rate", self.default_byzantine_rate
+        )
         # A parameter for a policy that is not in effect would be
         # silently ignored — reject it instead, keeping calls honest.
         if p is not None and name != "uniform":
@@ -359,7 +372,10 @@ class _SsyncSchedulerBase:
             schedule=schedule,
         )
         injector = FaultInjector(
-            sleep_rate, crash_rate, seed=seed ^ _FAULT_SEED_SALT
+            sleep_rate,
+            crash_rate,
+            seed=seed ^ _FAULT_SEED_SALT,
+            byzantine_rate=byzantine_rate,
         )
         return ActivationSchedule(
             policy, k_fairness, injector if injector.enabled else None
@@ -367,6 +383,10 @@ class _SsyncSchedulerBase:
 
     def drive(self, program: Any, ctx: SimContext) -> RunResult:
         schedule = self._build_schedule(ctx)
+        byzantine = (
+            schedule.faults is not None
+            and schedule.faults.byzantine_rate > 0.0
+        )
         if isinstance(program, (FsyncProgram, AsyncProgram)):
             engine = SsyncEngine(
                 program.state,
@@ -392,9 +412,19 @@ class _SsyncSchedulerBase:
                 events=res.events,
                 final_state=res.final_state,
                 activations=engine.activations,
+                byzantine_actions=(
+                    engine.byzantine_actions if byzantine else None
+                ),
                 extras=dict(extras_fn()) if extras_fn else {},
             )
         if isinstance(program, SsyncSteppable):
+            if byzantine:
+                raise ValueError(
+                    "byzantine_rate supports grid-state programs only "
+                    "(stale-position perception needs the shared grid "
+                    "snapshot); self-clocked programs accept "
+                    "sleep_rate/crash_rate"
+                )
             return drive_stepped_ssync(program, schedule, ctx, self.key)
         raise TypeError(
             f"program {type(program).__name__} does not support the "
@@ -426,6 +456,97 @@ class SsyncFaultyScheduler(_SsyncSchedulerBase):
     default_sleep_rate = 0.05
 
 
+#: Salt for the async-lcm staleness draws — a third independent stream
+#: next to the activation-policy and fault streams.
+_STALENESS_SEED_SALT = 0x5A1E
+
+
+@register_scheduler
+class AsyncLcmScheduler(_SsyncSchedulerBase):
+    """Non-atomic ASYNC: look, compute, and move decouple with bounded
+    staleness (:class:`repro.engine.async_lcm.AsyncLcmEngine`).
+
+    Accepts every SSYNC option except ``byzantine_rate`` (stale
+    perception is this model's native adversary) plus:
+
+    ``staleness``
+        The staleness bound Δ (default 0): an activated robot computes
+        on a snapshot up to Δ rounds old and its move lands up to Δ
+        rounds later.  Δ = 0 makes the engine step-identical to
+        ``ssync`` — with full activation, bit-identical to ``fsync``
+        (golden-pinned).
+    """
+
+    key = "async-lcm"
+    description = (
+        "non-atomic ASYNC: stale-snapshot compute and delayed moves "
+        "under bounded staleness"
+    )
+    option_names = tuple(
+        name
+        for name in _SsyncSchedulerBase.option_names
+        if name != "byzantine_rate"
+    ) + ("staleness",)
+
+    def drive(self, program: Any, ctx: SimContext) -> RunResult:
+        staleness = ctx.options.pop("staleness", 0)
+        if not isinstance(staleness, int) or isinstance(staleness, bool):
+            raise ValueError(
+                f"staleness must be a non-negative integer round "
+                f"count, got {staleness!r}"
+            )
+        if staleness < 0:
+            raise ValueError(
+                f"staleness must be a non-negative integer round "
+                f"count, got {staleness!r}"
+            )
+        schedule = self._build_schedule(ctx)
+        seed = ctx.seed if ctx.seed is not None else 0
+        if isinstance(program, (FsyncProgram, AsyncProgram)):
+            engine = AsyncLcmEngine(
+                program.state,
+                program.controller,
+                schedule,
+                staleness=staleness,
+                seed=seed ^ _STALENESS_SEED_SALT,
+                check_connectivity=program.check_connectivity,
+                track_boundary=ctx.track_boundary,
+                on_round=ctx.on_round,
+            )
+            try:
+                res = engine.run(max_rounds=ctx.max_rounds)
+            finally:
+                close_controller(program.controller)
+            extras_fn = getattr(program, "extras_fn", None)
+            return RunResult(
+                strategy="",
+                scheduler=self.key,
+                gathered=res.gathered,
+                rounds=res.rounds,
+                robots_initial=res.robots_initial,
+                robots_final=res.robots_final,
+                metrics=res.metrics,
+                events=res.events,
+                final_state=res.final_state,
+                activations=engine.activations,
+                extras=dict(extras_fn()) if extras_fn else {},
+            )
+        if isinstance(program, SsyncSteppable):
+            if staleness > 0:
+                raise ValueError(
+                    "async-lcm over self-clocked programs supports "
+                    "staleness=0 only (their step surface has no "
+                    "snapshot archive); grid-state strategies support "
+                    "any staleness bound"
+                )
+            return drive_stepped_ssync(program, schedule, ctx, self.key)
+        raise TypeError(
+            f"program {type(program).__name__} does not support the "
+            f"async-lcm scheduler (needs FsyncProgram, AsyncProgram, or "
+            f"the ssync_roster/ssync_step surface)"
+        )
+
+
 # ----------------------------------------------------------------------
 # Grid-state strategies (FSYNC engine / ASYNC engine)
 # ----------------------------------------------------------------------
@@ -438,7 +559,7 @@ class GridStrategy:
 
     key = "grid"
     description = "paper's local-view O(n) grid gathering (FSYNC)"
-    schedulers = ("fsync", "ssync", "ssync-faulty")
+    schedulers = ("fsync", "ssync", "ssync-faulty", "async-lcm")
     default_scheduler = "fsync"
     compare_label = "grid"
 
@@ -461,6 +582,45 @@ class GridStrategy:
 
 
 @register_strategy
+class TolerantStrategy:
+    """The connectivity-tolerant variant of the paper's algorithm
+    (:class:`~repro.core.tolerant.TolerantGatherOnGrid`): the stock
+    plan filtered through the stationary-core subset-safety certificate,
+    so *any* activation subset preserves connectivity — the SSYNC breaks
+    the explorer certifies against the stock algorithm vanish by
+    construction (``repro certify --strategy tolerant``).
+
+    Options: ``controller`` — a pre-built controller to plug in, like
+    the grid strategy."""
+
+    key = "tolerant"
+    description = (
+        "connectivity-tolerant grid gathering (subset-safe move filter)"
+    )
+    schedulers = ("fsync", "ssync", "ssync-faulty", "async-lcm")
+    default_scheduler = "fsync"
+    compare_label = "tolerant"
+
+    def resolve(self, scenario: Scenario, ctx: SimContext) -> List[Any]:
+        return _grid_cells(scenario, ctx)
+
+    def build(self, resolved: Any, ctx: SimContext) -> FsyncProgram:
+        controller = ctx.options.pop("controller", None)
+        if controller is None:
+            controller = TolerantGatherOnGrid(
+                ctx.config or AlgorithmConfig()
+            )
+        return FsyncProgram(
+            state=SwarmState(resolved),
+            controller=controller,
+            check_connectivity=ctx.check_connectivity,
+        )
+
+    def compare_scenario(self, n: int) -> Scenario:
+        return Scenario(family="line", n=n)
+
+
+@register_strategy
 class GlobalVisionStrategy:
     """Global-vision grid gathering ([SN14] flavour): everyone steps
     toward the enclosing-rectangle center.  Connectivity is not part of
@@ -468,7 +628,7 @@ class GlobalVisionStrategy:
 
     key = "global"
     description = "global-vision gathering toward the bounding-box center"
-    schedulers = ("fsync", "ssync", "ssync-faulty")
+    schedulers = ("fsync", "ssync", "ssync-faulty", "async-lcm")
     default_scheduler = "fsync"
     compare_label = "global"
 
@@ -496,7 +656,7 @@ class AsyncGreedyStrategy:
 
     key = "async_greedy"
     description = "greedy gathering under the fair ASYNC scheduler"
-    schedulers = ("async", "ssync", "ssync-faulty")
+    schedulers = ("async", "ssync", "ssync-faulty", "async-lcm")
     default_scheduler = "async"
     compare_label = "async"
 
@@ -601,7 +761,7 @@ class EuclideanStrategy:
 
     key = "euclidean"
     description = "[DKL+11] Euclidean go-to-center (Theta(n^2) FSYNC)"
-    schedulers = ("fsync", "ssync", "ssync-faulty")
+    schedulers = ("fsync", "ssync", "ssync-faulty", "async-lcm")
     default_scheduler = "fsync"
     compare_label = "euclid"
 
@@ -730,7 +890,7 @@ class ChainStrategy:
 
     key = "chain"
     description = "[KM09]-flavoured open-chain shortening (FSYNC)"
-    schedulers = ("fsync", "ssync", "ssync-faulty")
+    schedulers = ("fsync", "ssync", "ssync-faulty", "async-lcm")
     default_scheduler = "fsync"
     compare_label = "chain"
 
@@ -792,7 +952,7 @@ class ClosedChainStrategy:
 
     key = "closed_chain"
     description = "[ACLF+16] randomized closed-chain gathering (FSYNC)"
-    schedulers = ("fsync", "ssync", "ssync-faulty")
+    schedulers = ("fsync", "ssync", "ssync-faulty", "async-lcm")
     default_scheduler = "fsync"
     compare_label = "closed"
 

@@ -6,7 +6,9 @@ registered workload/time model, ``--seed`` pins everything stochastic,
 and ``--json`` prints a machine-readable summary to stdout.  The SSYNC
 schedulers (``--scheduler ssync`` / ``ssync-faulty``) add
 ``--activation``, ``--activation-p``, ``--rr-k``, ``--k-fairness``,
-``--fault-rate`` and ``--crash-rate`` (see docs/schedulers.md).
+``--fault-rate``, ``--crash-rate`` and ``--byzantine-rate``; the
+``async-lcm`` scheduler adds ``--staleness`` (see docs/schedulers.md —
+flags a scheduler does not declare are rejected loudly).
 
 Commands
 --------
@@ -139,6 +141,21 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="per-robot per-round crash-stop hazard",
     )
     p.add_argument(
+        "--byzantine-rate",
+        type=float,
+        default=None,
+        help="fraction of robots drawn byzantine at the start of an "
+        "ssync/ssync-faulty run (stale views, off-plan hops, playing "
+        "dead)",
+    )
+    p.add_argument(
+        "--staleness",
+        type=int,
+        default=None,
+        help="async-lcm only: max look/move lag in rounds (0 = FSYNC-"
+        "identical full activation)",
+    )
+    p.add_argument(
         "--radius", type=int, default=None, help="viewing radius override"
     )
     p.add_argument(
@@ -205,6 +222,8 @@ def _scheduler_options(args: argparse.Namespace) -> dict:
         "k_fairness": "k_fairness",
         "fault_rate": "sleep_rate",
         "crash_rate": "crash_rate",
+        "byzantine_rate": "byzantine_rate",
+        "staleness": "staleness",
     }
     out = {}
     for attr, option in mapping.items():
@@ -712,18 +731,26 @@ def cmd_explore(args: argparse.Namespace) -> int:
             branch_samples=args.branch_samples,
             include_stall=not args.no_stall,
             seed=args.seed if args.seed is not None else 0,
+            strategy=args.strategy,
+            symmetry=args.symmetry,
         )
     except (*_USAGE_ERRORS, OSError) as exc:
         return _fail(exc)
     counts = dag.counts()
     broken = dag.first("disconnected")
     witness = None
-    if broken is not None:
+    if broken is not None and dag.symmetry == "translation":
         witness = build_witness(dag, target=broken.key)
     if args.witness is not None:
         if witness is not None:
             with open(args.witness, "w") as fh:
                 save_witness(witness, fh)
+        elif broken is not None:
+            print(
+                "note: D4-deduped DAGs carry no exact frames; re-run "
+                "with --symmetry translation to extract a witness",
+                file=sys.stderr,
+            )
         else:
             print(
                 "note: no disconnected state found; no witness written",
@@ -740,6 +767,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
             "family": args.family,
             "n": args.n,
             "mode": dag.mode,
+            "strategy": dag.strategy,
+            "symmetry": dag.symmetry,
             "complete": dag.complete,
             "counts": counts,
             "max_depth": dag.max_depth_reached,
@@ -789,6 +818,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
             max_n=args.max_n,
             min_n=args.min_n,
             max_nodes=args.max_nodes,
+            strategy=args.strategy,
+            symmetry=args.symmetry,
         )
     except _USAGE_ERRORS as exc:
         return _fail(exc)
@@ -800,6 +831,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
         payload = {
             "min_n": report["min_n"],
             "max_n": report["max_n"],
+            "strategy": report["strategy"],
+            "symmetry": report["symmetry"],
             "overall_ok": report["overall_ok"],
             "rows": report["rows"],
         }
@@ -1046,6 +1079,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop the empty activation set from the branch lattice",
     )
     p.add_argument(
+        "--strategy",
+        default="grid",
+        choices=["grid", "tolerant"],
+        help="grid-state strategy to branch (default: grid)",
+    )
+    p.add_argument(
+        "--symmetry",
+        default="translation",
+        choices=["translation", "d4"],
+        help="state-key dedup group: exact translation frames "
+        "(default) or d4 rotation/reflection folding (smaller DAGs; "
+        "verdicts only, no witness extraction)",
+    )
+    p.add_argument(
         "--interval", type=int, default=None, help="run start interval L"
     )
     p.add_argument(
@@ -1093,6 +1140,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200_000,
         help="per-shape node budget (a truncated shape fails the sweep)",
+    )
+    p.add_argument(
+        "--strategy",
+        default="grid",
+        choices=["grid", "tolerant"],
+        help="grid-state strategy to certify (default: grid)",
+    )
+    p.add_argument(
+        "--symmetry",
+        default="translation",
+        choices=["translation", "d4"],
+        help="explorer dedup group (d4 = faster verdict-only sweeps)",
     )
     p.add_argument(
         "--witness",

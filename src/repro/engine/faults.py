@@ -1,6 +1,6 @@
 """Seeded per-robot fault injection for adversarial schedulers.
 
-Two classic fault classes from the robots-gathering literature:
+Three fault classes from the robots-gathering literature:
 
 * **transient sleep** — an activated robot fails to perform its
   look-compute-move cycle this round (it behaves as if the scheduler had
@@ -8,24 +8,83 @@ Two classic fault classes from the robots-gathering literature:
 * **crash-stop** — the robot permanently stops acting.  It keeps its
   position (other robots can still merge onto it), but it never again
   looks, computes, or moves.
+* **byzantine** — the robot is adversarial for the whole run.  Each
+  round it picks one of three legal misbehaviors: report a *stale*
+  position to every observer, move *off-plan* to an adjacent cell of its
+  own choosing, or play *dead* and ignore its planned move.  Byzantine
+  robots never teleport: every lie and every rogue hop stays within the
+  one-step visibility/motion rules honest robots obey, which is what
+  makes the class adversarial rather than merely broken.
 
 Fault *draws* are what this module owns; fault *state* (the set of
 crashed robots, which must survive token renames when robots merge) is
 owned by :class:`repro.engine.ssync_scheduler.ActivationSchedule`.
 
-Determinism contract: ``draw`` consumes exactly one RNG value per alive
-robot per fault class with a non-zero rate, iterating the roster in the
-order given (callers pass the canonical sorted roster).  Two runs with
-the same seed, rates, and robot history therefore produce identical
-fault schedules — the property the reproducibility tests pin.
+Determinism contract (churn-invariant): every draw is a pure function
+``(seed, fault class, robot token, round)`` — each tuple seeds its own
+throwaway :class:`random.Random` via a splitmix64-style mixer instead of
+consuming positions from one shared stream.  Consequences, pinned by
+``tests/test_faults.py``:
+
+* roster churn does not shift draws — when robots merge or a token
+  renames mid-run, the surviving robots' future fault schedule is
+  bit-identical to a run where the departed robots never existed;
+* fault classes are independent — enabling byzantine draws does not
+  perturb the crash/sleep schedule (and vice versa), so adversarial
+  sweeps stay comparable along each axis;
+* faults never share an RNG with activation policies, so turning faults
+  on or off does not change the activation schedule of the survivors.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
-from typing import Iterable, Set, Tuple, TypeVar
+from typing import Iterable, List, Set, Tuple, TypeVar
 
 Token = TypeVar("Token")
+
+_MASK64 = (1 << 64) - 1
+
+#: Per-class stream ids keeping the fault classes' draws independent.
+_CLASS_CRASH = 0
+_CLASS_SLEEP = 1
+_CLASS_BYZ_ROLE = 2
+_CLASS_BYZ_BEHAVIOR = 3
+_CLASS_BYZ_DIRECTION = 4
+
+#: The eight king-move neighbor offsets a byzantine off-plan hop may
+#: take (chebyshev distance 1 — the same step rule honest robots obey).
+_BYZ_OFFSETS: Tuple[Tuple[int, int], ...] = (
+    (-1, -1), (-1, 0), (-1, 1), (0, -1),
+    (0, 1), (1, -1), (1, 0), (1, 1),
+)
+
+#: The three per-round byzantine misbehaviors, drawn uniformly.
+BYZANTINE_BEHAVIORS: Tuple[str, str, str] = ("stale", "offplan", "dead")
+
+
+def _mix(*parts: int) -> int:
+    """Collapse integers into one well-spread 64-bit seed (splitmix64
+    finalizer applied per part — avalanche without shared-stream state)."""
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        acc = (acc ^ (part & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        acc = ((acc ^ (acc >> 27)) * 0x94D049BB133111EB) & _MASK64
+        acc ^= acc >> 31
+    return acc
+
+
+def _token_int(token: object) -> int:
+    """A stable integer for any roster token (ints pass through; other
+    token types — e.g. string node ids — hash via blake2b, which is
+    deterministic across processes, unlike builtin ``hash``)."""
+    if isinstance(token, int):
+        return token
+    digest = hashlib.blake2b(
+        repr(token).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 class FaultInjector:
@@ -42,9 +101,15 @@ class FaultInjector:
         every future roster (the schedule enforces that), so the hazard
         applies only while alive.
     seed:
-        Seeds the private RNG; fault draws never share an RNG with
+        Seeds the draw mixer; fault draws never share an RNG with
         activation policies, so turning faults on or off does not change
         the activation schedule of the surviving robots.
+    byzantine_rate:
+        Probability that a robot is byzantine *for the whole run* (a
+        role, not a per-round hazard — the literature's f-byzantine
+        model picks the adversarial robots once).  The role draw is a
+        pure function of ``(seed, token)``, so it is stable across
+        rounds and unaffected by roster churn.
     """
 
     def __init__(
@@ -52,26 +117,41 @@ class FaultInjector:
         sleep_rate: float = 0.0,
         crash_rate: float = 0.0,
         seed: int = 0,
+        byzantine_rate: float = 0.0,
     ) -> None:
         for name, rate in (("sleep_rate", sleep_rate),
-                           ("crash_rate", crash_rate)):
+                           ("crash_rate", crash_rate),
+                           ("byzantine_rate", byzantine_rate)):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(
                     f"{name} must be a probability in [0, 1], got {rate!r}"
                 )
         self.sleep_rate = float(sleep_rate)
         self.crash_rate = float(crash_rate)
-        self.rng = random.Random(seed)
+        self.byzantine_rate = float(byzantine_rate)
+        self.seed = int(seed)
 
     @property
     def enabled(self) -> bool:
         """Whether any fault class can actually fire."""
-        return self.sleep_rate > 0.0 or self.crash_rate > 0.0
+        return (
+            self.sleep_rate > 0.0
+            or self.crash_rate > 0.0
+            or self.byzantine_rate > 0.0
+        )
 
+    # -- the one draw primitive ----------------------------------------
+    def _draw(self, class_id: int, token: object, round_index: int) -> float:
+        """The uniform [0, 1) draw for one (class, robot, round) cell."""
+        return random.Random(
+            _mix(self.seed, class_id, _token_int(token), round_index)
+        ).random()
+
+    # -- crash / sleep --------------------------------------------------
     def draw(
         self, round_index: int, roster: Iterable[Token]
     ) -> Tuple[Set[Token], Set[Token]]:
-        """Draw this round's faults for the alive ``roster``.
+        """Draw this round's crash/sleep faults for the alive ``roster``.
 
         Returns ``(sleeping, newly_crashed)`` token sets.  A robot can be
         drawn for both in the same round; crash-stop wins (the schedule
@@ -79,12 +159,47 @@ class FaultInjector:
         """
         sleeping: Set[Token] = set()
         crashed: Set[Token] = set()
-        if self.crash_rate > 0.0:
-            for token in roster:
-                if self.rng.random() < self.crash_rate:
-                    crashed.add(token)
-        if self.sleep_rate > 0.0:
-            for token in roster:
-                if self.rng.random() < self.sleep_rate:
-                    sleeping.add(token)
+        for token in roster:
+            if (
+                self.crash_rate > 0.0
+                and self._draw(_CLASS_CRASH, token, round_index)
+                < self.crash_rate
+            ):
+                crashed.add(token)
+            if (
+                self.sleep_rate > 0.0
+                and self._draw(_CLASS_SLEEP, token, round_index)
+                < self.sleep_rate
+            ):
+                sleeping.add(token)
         return sleeping, crashed
+
+    # -- byzantine ------------------------------------------------------
+    def is_byzantine(self, token: Token) -> bool:
+        """Whether ``token`` holds the byzantine role (run-constant)."""
+        if self.byzantine_rate <= 0.0:
+            return False
+        return (
+            self._draw(_CLASS_BYZ_ROLE, token, 0) < self.byzantine_rate
+        )
+
+    def byzantine_tokens(self, roster: Iterable[Token]) -> List[Token]:
+        """The byzantine members of ``roster`` in roster order."""
+        if self.byzantine_rate <= 0.0:
+            return []
+        return [t for t in roster if self.is_byzantine(t)]
+
+    def byzantine_behavior(self, round_index: int, token: Token) -> str:
+        """This round's misbehavior: ``stale`` / ``offplan`` / ``dead``."""
+        u = self._draw(_CLASS_BYZ_BEHAVIOR, token, round_index)
+        index = min(int(u * len(BYZANTINE_BEHAVIORS)),
+                    len(BYZANTINE_BEHAVIORS) - 1)
+        return BYZANTINE_BEHAVIORS[index]
+
+    def byzantine_offset(
+        self, round_index: int, token: Token
+    ) -> Tuple[int, int]:
+        """The off-plan hop direction (one of the 8 king moves)."""
+        u = self._draw(_CLASS_BYZ_DIRECTION, token, round_index)
+        index = min(int(u * len(_BYZ_OFFSETS)), len(_BYZ_OFFSETS) - 1)
+        return _BYZ_OFFSETS[index]

@@ -149,6 +149,10 @@ class RunResult:
     events: EventLog
     final_state: Any
     activations: Optional[int] = None
+    #: Total byzantine misbehaviors over the run (one per alive
+    #: byzantine robot per round); ``None`` when the scheduler had no
+    #: byzantine faults enabled.
+    byzantine_actions: Optional[int] = None
     trajectory: Optional[List[Any]] = None
     extras: Dict[str, Any] = field(default_factory=dict)
 
@@ -177,6 +181,8 @@ class RunResult:
         }
         if self.activations is not None:
             out["activations"] = self.activations
+        if self.byzantine_actions is not None:
+            out["byzantine_actions"] = self.byzantine_actions
         out["extras"] = {
             k: v for k, v in self.extras.items() if _jsonable(v)
         }

@@ -59,7 +59,7 @@ from typing import (
 )
 
 from repro.engine.events import EventLog
-from repro.engine.faults import FaultInjector
+from repro.engine.faults import BYZANTINE_BEHAVIORS, FaultInjector
 from repro.engine.metrics import MetricsLog, RoundMetrics
 from repro.engine.scheduler import GatherResult
 from repro.engine.termination import default_round_budget, is_gathered
@@ -433,8 +433,14 @@ class SsyncEngine:
         self._cell_of: Dict[int, Cell] = dict(enumerate(cells))
         self._id_at: Dict[Cell, int] = {c: i for i, c in enumerate(cells)}
         self._moved_last: Set[Cell] = set()
+        #: Position each surviving token held one round ago — what a
+        #: byzantine "stale" robot reports to every observer.
+        self._prev_cell_of: Dict[int, Cell] = dict(self._cell_of)
         self.round_index = 0
         self.activations = 0
+        #: Total byzantine misbehaviors drawn (one per alive byzantine
+        #: robot per round); surfaces as ``RunResult.byzantine_actions``.
+        self.byzantine_actions = 0
         #: Set when the connectivity check trips; ends the run with a
         #: ``connectivity_lost`` terminal event instead of raising.
         self.connectivity_lost = False
@@ -457,6 +463,48 @@ class SsyncEngine:
         id_at = self._id_at
         return frozenset(id_at[c] for c in cells if c in id_at)
 
+    def _byzantine_behaviors(self, r: int, roster) -> Dict[int, str]:
+        """This round's misbehavior per alive byzantine token (crash
+        trumps byzantine: a crashed robot stops acting, period)."""
+        faults = self.schedule.faults
+        if faults is None or faults.byzantine_rate <= 0.0:
+            return {}
+        crashed = self.schedule.crashed
+        return {
+            token: faults.byzantine_behavior(r, token)
+            for token in roster
+            if token not in crashed and faults.is_byzantine(token)
+        }
+
+    def _perceived_state(
+        self, byz_behaviors: Dict[int, str]
+    ) -> SwarmState:
+        """The state honest robots observe: each ``stale`` byzantine
+        robot is substituted back to its previous-round cell, in token
+        order, skipping any lie that is vacuous (it has not moved),
+        collides with a real robot, or would make the *perceived* swarm
+        disconnected — a visibly teleporting or detached robot would be
+        an illegal observation, not an adversarial one."""
+        occupied_view = set(self.state.cells)
+        substitutions: Dict[Cell, Cell] = {}
+        for token in sorted(byz_behaviors):
+            if byz_behaviors[token] != "stale":
+                continue
+            cur = self._cell_of[token]
+            prev = self._prev_cell_of.get(token, cur)
+            if prev == cur or prev in occupied_view:
+                continue
+            trial = (occupied_view - {cur}) | {prev}
+            if not is_connected(trial):
+                continue
+            occupied_view = trial
+            substitutions[cur] = prev
+        if not substitutions:
+            return self.state
+        perceived = self.state.copy()
+        perceived.apply_moves(substitutions)
+        return perceived
+
     # ------------------------------------------------------------------
     def step(self) -> int:
         """Execute one SSYNC round; returns the number of merged robots."""
@@ -466,20 +514,28 @@ class SsyncEngine:
         active = self.schedule.select(r, roster, hints=self._hints())
         self.activations += len(active)
 
+        byz_behaviors = self._byzantine_behaviors(r, roster)
+        perceived = (
+            self._perceived_state(byz_behaviors) if byz_behaviors else state
+        )
+        byz_cells = {self._cell_of[t] for t in byz_behaviors}
+
         controller = self.controller
         if hasattr(controller, "plan_round"):
-            planned = controller.plan_round(state, r)
+            planned = controller.plan_round(perceived, r)
             active_cells = {self._cell_of[i] for i in active}
             moves: Dict[Cell, Cell] = {
                 src: dst
                 for src, dst in planned.items()
-                if src in active_cells
+                if src in active_cells and src not in byz_cells
             }
         else:
             moves = {}
             for i in sorted(active):
+                if i in byz_behaviors:
+                    continue
                 robot = self._cell_of[i]
-                target = controller.activate(state, robot)
+                target = controller.activate(perceived, robot)
                 if target == robot:
                     continue
                 if chebyshev(robot, target) > 1:
@@ -487,6 +543,27 @@ class SsyncEngine:
                         f"illegal ssync move {robot} -> {target}"
                     )
                 moves[robot] = target
+        if byz_behaviors:
+            # A byzantine robot never follows the plan: ``stale`` and
+            # ``dead`` robots stand still (their planned moves were
+            # withheld above); an activated ``offplan`` robot hops to a
+            # seeded king-move neighbor of its own choosing.
+            faults = self.schedule.faults
+            for token in sorted(byz_behaviors):
+                if byz_behaviors[token] != "offplan" or token not in active:
+                    continue
+                cur = self._cell_of[token]
+                dx, dy = faults.byzantine_offset(r, token)
+                moves[cur] = (cur[0] + dx, cur[1] + dy)
+            self.byzantine_actions += len(byz_behaviors)
+            for behavior in BYZANTINE_BEHAVIORS:
+                robots = sorted(
+                    t for t, b in byz_behaviors.items() if b == behavior
+                )
+                if robots:
+                    self.events.emit(
+                        r, "byzantine", behavior=behavior, robots=robots
+                    )
         merged = state.apply_moves(moves)
         if hasattr(controller, "notify_applied"):
             controller.notify_applied(state, r, moves, merged)
@@ -521,6 +598,7 @@ class SsyncEngine:
             new_cell_of[survivor] = cell
             for other in tokens[1:]:
                 remap[other] = survivor
+        self._prev_cell_of = {t: self._cell_of[t] for t in new_cell_of}
         self._cell_of = new_cell_of
         self._id_at = {c: t for t, c in new_cell_of.items()}
         self.schedule.commit(

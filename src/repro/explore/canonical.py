@@ -36,7 +36,11 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.core.config import AlgorithmConfig
-from repro.grid.canonical import translation_normal_form
+from repro.grid.canonical import (
+    D4_MATRICES,
+    apply_d4,
+    translation_normal_form,
+)
 from repro.grid.geometry import Cell
 
 #: One normalized run row: ``(rank, robot, prev, direction, axis)``.
@@ -95,10 +99,72 @@ def round_phase(round_index: int, cfg: AlgorithmConfig) -> int:
     return 0 if round_index == 0 else 1
 
 
+def _d4_run_rows(
+    checkpoint: dict, index: int, offset: Cell
+) -> Tuple[RunRow, ...]:
+    """Run rows transformed by the ``index``-th D4 element, rebased by
+    ``offset`` (the transformed frame's translation corner).
+
+    A run's ``(axis, direction)`` is a grid vector — ``("h", d)`` is
+    ``(d, 0)`` and ``("v", d)`` is ``(0, d)`` — so it transforms by the
+    matrix like any cell: the image vector has exactly one nonzero
+    component (D4 maps axes to axes), which names the new axis and
+    direction.  Ranks are frame-independent and row order is rank order,
+    so both survive unchanged.
+    """
+    a, b, c, d = D4_MATRICES[index]
+    ox, oy = offset
+    rows = sorted(checkpoint["runs"], key=lambda row: int(row[0]))
+    out = []
+    for rank, row in enumerate(rows):
+        rx, ry = apply_d4(index, (int(row[1][0]), int(row[1][1])))
+        px, py = apply_d4(index, (int(row[2][0]), int(row[2][1])))
+        direction = int(row[3])
+        if str(row[4]) == "h":
+            vec = (a * direction, c * direction)
+        else:
+            vec = (b * direction, d * direction)
+        if vec[0] != 0:
+            new_axis, new_direction = "h", vec[0]
+        else:
+            new_axis, new_direction = "v", vec[1]
+        out.append(
+            (rank, (rx - ox, ry - oy), (px - ox, py - oy),
+             new_direction, new_axis)
+        )
+    return tuple(out)
+
+
 def canonical_state_key(
-    cells, checkpoint: dict, phase: int
+    cells, checkpoint: dict, phase: int, symmetry: str = "translation"
 ) -> Tuple[StateKey, Cell]:
-    """``(key, offset)`` for a raw state; ``offset`` maps the canonical
-    frame back to the input frame (``input = canonical + offset``)."""
+    """``(key, offset)`` for a raw state.
+
+    With ``symmetry="translation"`` (default, exact) ``offset`` maps the
+    canonical frame back to the input frame (``input = canonical +
+    offset``) — the property witness reconstruction relies on.  With
+    ``symmetry="d4"`` the key is additionally lex-minimized over the
+    eight rotations/reflections (cells *and* run rows transformed
+    together); ``offset`` is then the winning image's translation corner
+    only — the rigid motion back to the input frame is not recorded, so
+    D4 DAGs support verdicts but not witness reconstruction.
+    """
     normal, offset = translation_normal_form(cells)
-    return (normal, canonical_run_rows(checkpoint, offset), phase), offset
+    if symmetry == "translation":
+        return (normal, canonical_run_rows(checkpoint, offset), phase), offset
+    if symmetry != "d4":
+        raise ValueError(
+            f"unknown explorer symmetry {symmetry!r}; "
+            f"expected 'translation' or 'd4'"
+        )
+    best_key = None
+    best_offset = offset
+    for index in range(len(D4_MATRICES)):
+        image = [apply_d4(index, cell) for cell in cells]
+        image_normal, image_offset = translation_normal_form(image)
+        image_rows = _d4_run_rows(checkpoint, index, image_offset)
+        candidate = (image_normal, image_rows)
+        if best_key is None or candidate < best_key:
+            best_key = candidate
+            best_offset = image_offset
+    return (best_key[0], best_key[1], phase), best_offset

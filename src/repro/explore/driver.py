@@ -46,7 +46,11 @@ from repro.explore.canonical import (
 )
 from repro.grid.connectivity import articulation_cells, is_connected
 from repro.grid.geometry import Cell
-from repro.trace.replay import controller_checkpoint, restore_controller
+from repro.trace.replay import (
+    controller_checkpoint,
+    grid_controller_class,
+    restore_controller,
+)
 
 #: Seed salt keeping beam-mode subset sampling an independent stream of
 #: a user-facing seed (mirrors the facade's policy/fault salts).
@@ -124,6 +128,8 @@ class StateDag:
         root: StateKey,
         root_offset: Cell,
         mode: str,
+        strategy: str = "grid",
+        symmetry: str = "translation",
     ) -> None:
         self.initial_cells: Tuple[Cell, ...] = tuple(sorted(initial_cells))
         self.cfg = cfg
@@ -131,6 +137,12 @@ class StateDag:
         #: ``initial = root_cells + root_offset``.
         self.root_offset = root_offset
         self.mode = mode
+        #: The grid-state strategy key whose controller was branched
+        #: (``"grid"`` or ``"tolerant"``) — witnesses replay with it.
+        self.strategy = strategy
+        #: Dedup group: ``"translation"`` (exact frames) or ``"d4"``
+        #: (verdict-level acceleration; witnesses need exact frames).
+        self.symmetry = symmetry
         self.nodes: Dict[StateKey, Node] = {}
         self.edge_count = 0
         self.max_depth_reached = 0
@@ -298,6 +310,8 @@ def explore(
     include_stall: bool = True,
     seed: int = 0,
     gather_square: int = 2,
+    strategy: str = "grid",
+    symmetry: str = "translation",
 ) -> StateDag:
     """Build the deduplicated activation-subset DAG of one seed swarm.
 
@@ -309,10 +323,24 @@ def explore(
     as a branch (stall rounds still advance the run table, which is one
     of the desynchronization mechanisms).  Limits mark the result
     truncated rather than raising.
+
+    ``strategy`` picks the grid-state controller under exploration
+    (stock ``"grid"`` or the connectivity-``"tolerant"`` variant).
+    ``symmetry`` picks the dedup group for state keys: the exact
+    ``"translation"`` default, or ``"d4"`` which additionally folds the
+    eight rotations/reflections into one node — a verdict-level
+    accelerator (witness reconstruction needs exact frames and refuses
+    D4 DAGs).
     """
     if mode not in ("exhaustive", "beam"):
         raise ValueError(
             f"unknown explore mode {mode!r}; expected 'exhaustive' or 'beam'"
+        )
+    grid_controller_class(strategy)  # fail fast on unknown keys
+    if symmetry not in ("translation", "d4"):
+        raise ValueError(
+            f"unknown explorer symmetry {symmetry!r}; "
+            f"expected 'translation' or 'd4'"
         )
     cells = sorted(initial_cells)
     if not cells:
@@ -328,9 +356,13 @@ def explore(
     )
 
     root_key, root_offset = canonical_state_key(
-        cells, {"next_id": 0, "runs": []}, round_phase(0, user_cfg)
+        cells, {"next_id": 0, "runs": []}, round_phase(0, user_cfg),
+        symmetry,
     )
-    dag = StateDag(cells, user_cfg, root_key, root_offset, mode)
+    dag = StateDag(
+        cells, user_cfg, root_key, root_offset, mode,
+        strategy=strategy, symmetry=symmetry,
+    )
     root = Node(
         key=root_key, depth=0, status=_status_of(set(cells), gather_square)
     )
@@ -433,7 +465,7 @@ def _expand(
 
     rep = _representative_round(node.phase, dag.cfg)
     controller = restore_controller(
-        checkpoint_from_rows(node.run_rows), plan_cfg
+        checkpoint_from_rows(node.run_rows), plan_cfg, dag.strategy
     )
     controller.events = EventLog()  # branch probes never keep events
     plan_state = SwarmState(sorted(node.cells))
@@ -475,6 +507,7 @@ def _expand(
             branch_state.cells,
             controller_checkpoint(controller),
             child_phase,
+            dag.symmetry,
         )
         node.edges.append(Edge(choice=chosen, child=key, offset=offset))
         dag.edge_count += 1

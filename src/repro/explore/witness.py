@@ -30,12 +30,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
 from repro.errors import InvariantError
 from repro.explore.driver import Edge, StateDag
 from repro.grid.geometry import Cell
 from repro.grid.occupancy import SwarmState
+from repro.trace.replay import grid_controller_class
 
 
 @dataclass
@@ -55,6 +55,9 @@ class Witness:
     fairness_k: int
     #: Activated mover cells per round, real frame (diagnostics).
     choices: List[Tuple[Cell, ...]] = field(default_factory=list)
+    #: Grid-state strategy the schedule was built against (``"grid"``
+    #: or ``"tolerant"``); replay uses the same controller.
+    strategy: str = "grid"
 
     @property
     def rounds(self) -> int:
@@ -78,7 +81,15 @@ def build_witness(
         if target is None:
             raise ValueError("build_witness needs edges or a target key")
         edges = dag.edge_path(target)
-    controller = GatherOnGrid(cfg or dag.cfg)
+    if getattr(dag, "symmetry", "translation") != "translation":
+        raise ValueError(
+            f"witness reconstruction needs exact (translation-only) "
+            f"frames; this DAG was deduped with "
+            f"symmetry={dag.symmetry!r} — re-explore with "
+            f"symmetry='translation' to extract schedules"
+        )
+    strategy = getattr(dag, "strategy", "grid")
+    controller = grid_controller_class(strategy)(cfg or dag.cfg)
     state = SwarmState(list(dag.initial_cells))
     ox, oy = dag.root_offset
 
@@ -153,6 +164,7 @@ def build_witness(
         # below k_fairness - 1.
         fairness_k=max_idle + 2,
         choices=choices,
+        strategy=strategy,
     )
 
 
@@ -164,7 +176,7 @@ def save_witness(witness: Witness, fh) -> None:
     header = {
         "type": "header",
         "kind": "ssync_witness",
-        "strategy": "grid",
+        "strategy": witness.strategy,
         "scheduler": "ssync",
         "activation": "scripted",
         "n": len(witness.initial),
@@ -212,6 +224,7 @@ def load_witness(lines) -> Witness:
             else None
         ),
         fairness_k=int(meta["fairness_k"]),
+        strategy=str(meta.get("strategy", "grid")),
     )
 
 
@@ -233,4 +246,5 @@ def verify_witness(
             witness.terminal if witness.terminal != "open" else None
         ),
         violation_round=witness.violation_round,
+        strategy=witness.strategy,
     )

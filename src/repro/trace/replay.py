@@ -23,9 +23,30 @@ from typing import List, Optional, Sequence
 from repro.core.algorithm import GatherOnGrid
 from repro.core.config import AlgorithmConfig
 from repro.core.runs import Run
+from repro.core.tolerant import TolerantGatherOnGrid
 from repro.engine.scheduler import FsyncEngine
 from repro.grid.occupancy import SwarmState
 from repro.trace.recorder import TraceRow
+
+#: The grid-state controllers a checkpoint can restore into, by the
+#: facade strategy key that builds them.  The explorer, witness
+#: reconstruction, and certification all thread this key so the same
+#: machinery certifies the stock algorithm and its tolerant variant.
+GRID_CONTROLLERS = {
+    "grid": GatherOnGrid,
+    "tolerant": TolerantGatherOnGrid,
+}
+
+
+def grid_controller_class(strategy: str) -> type:
+    """The controller class behind a grid-state strategy key."""
+    try:
+        return GRID_CONTROLLERS[strategy]
+    except KeyError:
+        raise KeyError(
+            f"unknown grid-state strategy {strategy!r}; "
+            f"available: {sorted(GRID_CONTROLLERS)}"
+        ) from None
 
 
 def replay(
@@ -89,10 +110,13 @@ def controller_checkpoint(controller: GatherOnGrid) -> dict:
 
 
 def restore_controller(
-    checkpoint: dict, cfg: Optional[AlgorithmConfig] = None
+    checkpoint: dict,
+    cfg: Optional[AlgorithmConfig] = None,
+    strategy: str = "grid",
 ) -> GatherOnGrid:
-    """A fresh :class:`GatherOnGrid` with the checkpointed run table."""
-    controller = GatherOnGrid(cfg)
+    """A fresh grid-state controller with the checkpointed run table
+    (``strategy`` picks the class — stock ``grid`` or ``tolerant``)."""
+    controller = grid_controller_class(strategy)(cfg)
     manager = controller.run_manager
     manager._next_id = int(checkpoint["next_id"])
     manager.runs = {
@@ -158,6 +182,7 @@ def replay_schedule(
     cfg: Optional[AlgorithmConfig] = None,
     k_fairness: Optional[int] = None,
     max_rounds: Optional[int] = None,
+    strategy: str = "grid",
     on_round=None,
 ):
     """Re-drive an explicit activation schedule through the stock SSYNC
@@ -167,13 +192,20 @@ def replay_schedule(
     exported by :mod:`repro.explore` witnesses.  ``k_fairness`` defaults
     to ``len(schedule) + 2`` — large enough that fairness forcing can
     never perturb the script (no streak can reach the forcing threshold
-    within the scripted rounds).  Returns the facade ``RunResult``.
+    within the scripted rounds).  ``strategy`` selects the grid-state
+    strategy under test (stock ``grid`` or ``tolerant``).  Returns the
+    facade ``RunResult``.
     """
     from repro.api import simulate  # lazy: api imports this package
 
+    if strategy not in GRID_CONTROLLERS:
+        raise KeyError(
+            f"schedule replay supports grid-state strategies only "
+            f"({sorted(GRID_CONTROLLERS)}), got {strategy!r}"
+        )
     return simulate(
         list(initial_cells),
-        strategy="grid",
+        strategy=strategy,
         scheduler="ssync",
         config=cfg,
         activation="scripted",
@@ -195,6 +227,7 @@ def verify_schedule_trace(
     k_fairness: Optional[int] = None,
     expect_terminal: Optional[str] = None,
     violation_round: Optional[int] = None,
+    strategy: str = "grid",
 ) -> bool:
     """True iff replaying ``schedule`` reproduces ``rows`` exactly.
 
@@ -212,6 +245,7 @@ def verify_schedule_trace(
         cfg=cfg,
         k_fairness=k_fairness,
         max_rounds=len(rows),
+        strategy=strategy,
         on_round=lambda i, s: observed.append(tuple(sorted(s.cells))),
     )
     if len(observed) != len(rows):

@@ -400,13 +400,54 @@ def _fig22() -> str:
     )
 
 
+def _fig23() -> str:
+    """Fault axes: stock vs tolerant under sleep/crash/byzantine."""
+    from repro.analysis.tables import format_table
+    from repro.analysis.experiments import FAULT_AXES, run_fault_axes
+
+    strategies = ["grid", "tolerant"]
+    axes = sorted(FAULT_AXES)
+    rates = [0.0, 0.1, 0.25]
+    points = run_fault_axes(
+        strategies, axes, rates, n=12, seed=1, max_rounds=2000
+    )
+    cell: Dict[tuple, str] = {}
+    for pt in points:
+        cell[(pt.axis, pt.rate, pt.strategy)] = (
+            str(pt.rounds) if pt.gathered else "stalled"
+        )
+    rows = [
+        (
+            axis,
+            f"{rate:.2f}",
+            *(cell[(axis, rate, s)] for s in strategies),
+        )
+        for axis in axes
+        for rate in rates
+    ]
+    table = format_table(
+        ["axis", "rate", *strategies],
+        rows,
+        title="rounds to gather under SSYNC(uniform-0.8) faults, n~12",
+    )
+    return (
+        "Figure 23 (repo-original) — fault-axis degradation: rounds to\n"
+        "gather for the stock grid algorithm vs its connectivity-\n"
+        "tolerant variant under one fault model at a time (transient\n"
+        "sleep omissions, crash-stop failures, byzantine robots with\n"
+        "stale views / off-plan hops / play-dead).  'stalled' = budget\n"
+        "exhausted.  Sweep: analysis.experiments.run_fault_axes;\n"
+        "models: docs/schedulers.md.\n" + table
+    )
+
+
 FIGURES: Dict[str, Callable[[], str]] = {
     f"fig{i}": fn
     for i, fn in enumerate(
         [
             _fig1, _fig2, _fig3, _fig4, _fig5, _fig6, _fig7, _fig8, _fig9,
             _fig10, _fig11, _fig12, _fig13, _fig14, _fig15, _fig16, _fig17,
-            _fig18, _fig19, _fig20, _fig21, _fig22,
+            _fig18, _fig19, _fig20, _fig21, _fig22, _fig23,
         ],
         start=1,
     )

@@ -67,9 +67,10 @@ class TestSmokeMatrix:
         assert len(result.metrics) == result.rounds
         assert len(result.events.of_kind("gathered")) == 1
         assert result.extras["initial_diameter"] >= 0
-        # activations are counted by the async and ssync schedulers
+        # activations are counted by the async and ssync-family
+        # schedulers (async-lcm included)
         assert (result.activations is not None) == (
-            scheduler in ("async", "ssync", "ssync-faulty")
+            scheduler in ("async", "ssync", "ssync-faulty", "async-lcm")
         )
         json.dumps(result.summary())  # machine-readable by contract
 

@@ -188,6 +188,50 @@ class TestSsyncFlags:
         for key in ("'fsync'", "'ssync'", "'ssync-faulty'", "'async'"):
             assert key in err, f"{key} missing from: {err}"
 
+    def test_byzantine_rate_with_fsync_is_a_usage_error(self, capsys):
+        rc = main(["gather", "--scheduler", "fsync",
+                   "--byzantine-rate", "0.1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        assert "byzantine_rate" in err
+
+    def test_byzantine_rate_with_async_lcm_is_a_usage_error(self, capsys):
+        # async-lcm strips byzantine_rate from its option_names (stale
+        # perception is that model's native adversary) — the CLI must
+        # surface the registry's rejection, not silently drop the flag.
+        rc = main(["gather", "--scheduler", "async-lcm",
+                   "--byzantine-rate", "0.1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        assert "byzantine_rate" in err
+
+    def test_staleness_with_ssync_is_a_usage_error(self, capsys):
+        rc = main(["gather", "--scheduler", "ssync",
+                   "--staleness", "2"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        assert "staleness" in err
+
+    def test_gather_async_lcm_with_staleness(self, capsys):
+        rc = main(["gather", "--family", "line", "-n", "16",
+                   "--scheduler", "async-lcm", "--staleness", "2",
+                   "--activation-p", "0.8", "--seed", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["scheduler"] == "async-lcm"
+        assert payload["gathered"] is True
+
+    def test_gather_byzantine_counts_actions(self, capsys):
+        rc = main(["gather", "--family", "line", "-n", "16",
+                   "--scheduler", "ssync-faulty",
+                   "--byzantine-rate", "0.2", "--seed", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc in (0, 1)  # byzantine hops may legitimately stall it
+        assert payload["byzantine_actions"] is not None
+
     def test_unknown_scheduler_choice_lists_keys(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["gather", "--scheduler", "nope"])

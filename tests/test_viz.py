@@ -160,8 +160,8 @@ class TestFrameRecorder:
 
 class TestFigures:
     def test_all_figures_render(self):
-        # the paper's 21 figures plus the repo-original fig22
-        assert len(FIGURES) == 22
+        # the paper's 21 figures plus the repo-original fig22/fig23
+        assert len(FIGURES) == 23
         for name in FIGURES:
             out = figure(name)
             assert isinstance(out, str) and len(out) > 20, name
@@ -169,6 +169,11 @@ class TestFigures:
     def test_fig22_robustness_table(self):
         out = figure("fig22")
         assert "SSYNC" in out and "grid" in out and "1.00" in out
+
+    def test_fig23_fault_axes_table(self):
+        out = figure("fig23")
+        assert "byzantine" in out and "tolerant" in out
+        assert "sleep" in out and "crash" in out
 
     def test_unknown_figure(self):
         with pytest.raises(KeyError):

@@ -103,6 +103,11 @@ class SharedStatePurityRule(ProjectRule):
             # must be a pure function of the checkpoint it summarizes —
             # a write here would let one branch leak into its siblings.
             ("src/repro/explore/canonical.py", "canonical_state_key"),
+            # The tolerant variant's admission filter: the subset-safety
+            # certificate must be a pure function of (occupied, planned)
+            # — a write here would make safety depend on evaluation
+            # order, voiding the stationary-core argument.
+            ("src/repro/core/tolerant.py", "certified_subset"),
         ),
         follow_prefixes: Sequence[str] = (
             "src/repro/core/",
